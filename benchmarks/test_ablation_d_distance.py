@@ -1,0 +1,49 @@
+"""Ablation — d-distance sweep beyond the paper's {4, 8}.
+
+The paper fixes d to 4 or 8; this ablation sweeps d over
+{0, 2, 4, 8, 12, 16} on linear_regression to expose the full
+accuracy/benefit trade-off curve the knob controls (DESIGN.md:
+"d-distance settings can be varied ... via PGO/auto-tuning").
+"""
+from repro.harness.experiment import run_workload
+
+from conftest import BENCH_SCALE, BENCH_SEED, BENCH_THREADS
+
+_D_VALUES = (0, 2, 4, 8, 12, 16)
+
+
+def test_d_distance_tradeoff(benchmark):
+    def sweep():
+        return {
+            d: run_workload(
+                "linear_regression", d_distance=d,
+                num_threads=BENCH_THREADS, scale=BENCH_SCALE,
+                seed=BENCH_SEED,
+            )
+            for d in _D_VALUES
+        }
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    base = rows[0]
+    print("\nd-distance trade-off (linear_regression):")
+    for d in _D_VALUES:
+        r = rows[d]
+        sp = (base.cycles / r.cycles - 1) * 100
+        print(f"  d={d:>2}: speedup={sp:6.2f}%  error={r.error_pct:8.3f}%  "
+              f"GS%={r.gs_serviced_pct:5.1f}  GI%={r.gi_serviced_pct:5.1f}")
+
+    # d=0 is the exact baseline
+    assert rows[0].error_pct == 0.0
+
+    # utilization grows monotonically with d
+    for lo, hi in zip(_D_VALUES, _D_VALUES[1:]):
+        assert rows[hi].gs_serviced_pct >= rows[lo].gs_serviced_pct - 1e-9
+
+    # benefit grows with d ...
+    assert rows[16].cycles < rows[4].cycles
+    # ... and so does error: the knob is a genuine trade-off
+    assert rows[16].error_pct > rows[4].error_pct
+    # no material slowdown anywhere on the curve (small-scale runs carry
+    # a few percent of interleaving noise)
+    for d in _D_VALUES:
+        assert rows[d].cycles <= base.cycles * 1.05

@@ -1,0 +1,33 @@
+"""Fig. 1 — the motivating false-sharing microbenchmark.
+
+Shape assertions: the privatized dot product (Listing 2) scales with
+thread count while the naive version (Listing 1) collapses under
+coherence-miss ping-pong, falling far below the privatized curve.
+"""
+from repro.harness.figures import fig1
+
+from conftest import BENCH_SEED
+
+_THREADS = (1, 2, 4, 8, 16, 24)
+
+
+def test_fig1(benchmark):
+    result = benchmark.pedantic(
+        fig1, kwargs=dict(thread_counts=_THREADS, n_points=2048,
+                          seed=BENCH_SEED),
+        iterations=1, rounds=1,
+    )
+    print("\n" + result.render())
+    naive = dict(zip(result.thread_counts, result.naive_speedup))
+    priv = dict(zip(result.thread_counts, result.private_speedup))
+
+    # privatized scales substantially (paper Fig. 1 right side)
+    assert priv[24] > 10.0
+    assert all(priv[b] >= priv[a] * 0.9
+               for a, b in zip(_THREADS, _THREADS[1:]))
+
+    # naive stops scaling: far below privatized at high thread counts
+    assert naive[24] < priv[24] / 3
+    # and collapses relative to its own early scaling
+    assert naive[24] < max(naive.values()) * 1.5
+    assert max(naive.values()) < 5.0

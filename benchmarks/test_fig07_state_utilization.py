@@ -1,0 +1,31 @@
+"""Fig. 7 — share of would-miss stores serviced by GS (a) and GI (b).
+
+Shape assertions (paper §4.1): linear_regression leads GS service and
+grows 63.7 % -> 69.1 % from d=4 to d=8; utilization never decreases with
+a larger d-distance; pca shows the big GI jump between d=4 and d=8.
+"""
+from repro.harness.figures import fig7
+
+
+def test_fig7(benchmark, sweep_cache):
+    result = benchmark.pedantic(fig7, args=(sweep_cache,),
+                                iterations=1, rounds=1)
+    print("\n" + result.render())
+    gs, gi = result.gs_pct, result.gi_pct
+    apps = {a for a, _d in gs}
+
+    # monotone in d for every app (larger window -> more scribbles pass)
+    for app in apps:
+        assert gs[(app, 8)] >= gs[(app, 4)] - 1e-9
+        assert gi[(app, 8)] >= gi[(app, 4)] - 1e-9
+
+    # linreg is the heavy GS user and grows with d (paper: 63.7 -> 69.1)
+    assert gs[("linear_regression", 8)] > 50.0
+    assert gs[("linear_regression", 8)] >= gs[("linear_regression", 4)]
+
+    # pca's utilization jumps between d=4 and d=8 (paper: 3.7 -> 38.9 GI)
+    assert gi[("pca", 8)] > gi[("pca", 4)] + 1.0
+
+    # blackscholes has essentially no serviceable misses
+    assert gs[("blackscholes", 8)] < 5.0
+    assert gi[("blackscholes", 8)] < 5.0

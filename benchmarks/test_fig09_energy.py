@@ -1,0 +1,35 @@
+"""Fig. 9 — NoC + memory-hierarchy dynamic energy savings.
+
+Shape assertions (paper §4.3): savings are proportional to each app's
+coherence-miss exposure — large for the false-sharing apps, ~zero for
+histogram/pca/blackscholes — grow with d, and are never negative.
+"""
+from repro.harness.figures import fig9
+
+
+def test_fig9(benchmark, sweep_cache):
+    result = benchmark.pedantic(fig9, args=(sweep_cache,),
+                                iterations=1, rounds=1)
+    print("\n" + result.render())
+    apps = {a for a, _d in result.noc_pct}
+
+    for app in apps:
+        for d in (4, 8):
+            # Ghostwriter never costs energy (paper: no negative impact)
+            assert result.combined_pct[(app, d)] > -1.0
+            assert result.noc_pct[(app, d)] > -1.0
+
+    # the false-sharing apps save visibly in the NoC at d=8
+    fs_savers = max(
+        result.noc_pct[("linear_regression", 8)],
+        result.noc_pct[("inversek2j", 8)],
+        result.noc_pct[("jpeg", 8)],
+    )
+    assert fs_savers > 8.0
+
+    # compute-parallel apps save ~nothing
+    assert abs(result.combined_pct[("blackscholes", 8)]) < 1.0
+
+    # savings grow (weakly) with d
+    for app in apps:
+        assert result.noc_pct[(app, 8)] >= result.noc_pct[(app, 4)] - 0.5

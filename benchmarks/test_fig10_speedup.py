@@ -1,0 +1,34 @@
+"""Fig. 10 — speedup over baseline MESI.
+
+Shape assertions (paper §4.3): speedup tracks the amount of mitigated
+coherence misses — highest for the false-sharing apps — and Ghostwriter
+never slows an application down.
+"""
+from repro.harness.figures import fig10
+
+
+def test_fig10(benchmark, sweep_cache):
+    result = benchmark.pedantic(fig10, args=(sweep_cache,),
+                                iterations=1, rounds=1)
+    print("\n" + result.render())
+    sp = result.speedup_pct
+    apps = {a for a, _d in sp}
+
+    # never a slowdown (paper: "no negative impact")
+    for app in apps:
+        for d in (4, 8):
+            assert sp[(app, d)] > -1.0, f"{app} slowed down at d={d}"
+
+    # somebody benefits substantially at d=8
+    assert result.maximum(8) > 5.0
+    # and it is a false-sharing app, not a compute-parallel one
+    best = max(apps, key=lambda a: sp[(a, 8)])
+    assert best in ("linear_regression", "inversek2j", "jpeg")
+
+    # the no-false-sharing apps sit at ~zero
+    assert abs(sp[("blackscholes", 8)]) < 1.0
+    assert abs(sp[("pca", 4)]) < 1.0
+
+    # average speedup grows (weakly) with d (paper: 4.7% -> 6.5%)
+    assert result.average(8) >= result.average(4) - 0.2
+    assert result.average(8) > 0.5

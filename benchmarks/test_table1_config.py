@@ -1,0 +1,16 @@
+"""Table 1 — simulation configuration."""
+from repro.harness.figures import table1
+
+
+def test_table1(benchmark):
+    result = benchmark(table1)
+    text = result.render()
+    print("\n" + text)
+    rows = dict((r[0], r[1]) for r in result.rows)
+    assert "24 in-order cores" in rows["Cores"]
+    assert "32kB" in rows["L1"] and "2-Way" in rows["L1"]
+    assert "128kB per core" in rows["L2"] and "8-Way" in rows["L2"]
+    assert "1024-cycle GI timeout" in rows["Coherence"]
+    assert "6x4 Mesh" in rows["Network"]
+    assert "4 Directory Controllers at Mesh Corners" in rows["Network"]
+    assert "2GB" in rows["DRAM"]

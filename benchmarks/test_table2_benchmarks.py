@@ -1,0 +1,26 @@
+"""Table 2 — the benchmark roster."""
+from repro.harness.figures import table2
+
+from conftest import BENCH_THREADS
+
+
+def test_table2(benchmark):
+    result = benchmark(table2, BENCH_THREADS)
+    print("\n" + result.render())
+    by_app = {r[0]: r for r in result.rows}
+    assert list(by_app) == [
+        "histogram", "linear_regression", "pca",
+        "blackscholes", "inversek2j", "jpeg",
+    ]
+    # Table 2's domain / error-metric columns
+    assert by_app["histogram"][1] == "Image Processing"
+    assert by_app["histogram"][3] == "MPE"
+    assert by_app["linear_regression"][1] == "Machine Learning"
+    assert by_app["linear_regression"][3] == "MPE"
+    assert by_app["pca"][3] == "NRMSE"
+    assert by_app["blackscholes"][1] == "Financial Analysis"
+    assert by_app["blackscholes"][3] == "MPE"
+    assert by_app["inversek2j"][1] == "Robotics"
+    assert by_app["inversek2j"][3] == "NRMSE"
+    assert by_app["jpeg"][1] == "Image Compression"
+    assert by_app["jpeg"][3] == "NRMSE"

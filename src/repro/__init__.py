@@ -1,0 +1,56 @@
+"""Ghostwriter: an approximate cache coherence protocol — reproduction.
+
+Reproduces Kao, San Miguel & Enright Jerger, *Ghostwriter: A Cache
+Coherence Protocol for Error-Tolerant Applications* (ICPP Workshops
+2021) as a self-contained Python library: an execution-driven multicore
+simulator with functional data, baseline MESI + the Ghostwriter GS/GI
+extension, mesh NoC, energy models, the paper's benchmarks, and a
+harness regenerating every table and figure.
+
+Common entry points::
+
+    from repro import Machine, default_config, run_pair
+
+    cfg = default_config().with_ghostwriter(d_distance=8)
+    machine = Machine(cfg)            # build your own thread programs, or
+    base, gw = run_pair("jpeg", d_distance=8)   # run a paper workload
+
+See README.md for a tour, DESIGN.md for the architecture, and
+EXPERIMENTS.md for measured-vs-paper results.
+"""
+from repro.common.config import (
+    CacheConfig,
+    DramConfig,
+    GhostwriterConfig,
+    NocConfig,
+    SimConfig,
+    default_config,
+    small_config,
+)
+from repro.common.types import AccessType, CoherenceState, MessageClass
+from repro.harness.experiment import (
+    experiment_config,
+    run_pair,
+    run_workload,
+)
+from repro.sim.machine import Machine
+from repro.workloads.alloc import SharedMemory
+from repro.workloads.base import Workload, WorkloadResult
+from repro.workloads.registry import ALL_WORKLOADS, PAPER_WORKLOADS, create
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "SimConfig", "CacheConfig", "NocConfig", "DramConfig",
+    "GhostwriterConfig", "default_config", "small_config",
+    "experiment_config",
+    # machine & types
+    "Machine", "AccessType", "CoherenceState", "MessageClass",
+    # workloads
+    "Workload", "WorkloadResult", "SharedMemory",
+    "ALL_WORKLOADS", "PAPER_WORKLOADS", "create",
+    # runners
+    "run_workload", "run_pair",
+]

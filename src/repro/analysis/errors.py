@@ -1,0 +1,56 @@
+"""Output-quality metrics used by the paper's evaluation (Table 2).
+
+The paper measures either *maximum percent error* (MPE) or *normalized
+root-mean-squared error* (NRMSE), per application, following Akturk et
+al. (WDDD'15).  Both are returned as percentages.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mpe", "nrmse", "error_for_metric"]
+
+_EPS = 1e-12
+
+
+def mpe(reference, measured) -> float:
+    """Maximum percent error: ``max |m - r| / |r| * 100``.
+
+    Elements whose reference is (near) zero fall back to absolute error
+    (so an exact match is still 0 and the metric never divides by zero).
+    """
+    ref = np.asarray(reference, dtype=np.float64).ravel()
+    mea = np.asarray(measured, dtype=np.float64).ravel()
+    if ref.shape != mea.shape:
+        raise ValueError(f"shape mismatch: {ref.shape} vs {mea.shape}")
+    if ref.size == 0:
+        raise ValueError("empty output")
+    diff = np.abs(mea - ref)
+    denom = np.abs(ref)
+    rel = np.where(denom > _EPS, diff / np.maximum(denom, _EPS), diff)
+    return float(rel.max() * 100.0)
+
+
+def nrmse(reference, measured) -> float:
+    """Root-mean-squared error normalized by the reference value range."""
+    ref = np.asarray(reference, dtype=np.float64).ravel()
+    mea = np.asarray(measured, dtype=np.float64).ravel()
+    if ref.shape != mea.shape:
+        raise ValueError(f"shape mismatch: {ref.shape} vs {mea.shape}")
+    if ref.size == 0:
+        raise ValueError("empty output")
+    rmse = float(np.sqrt(np.mean((mea - ref) ** 2)))
+    spread = float(ref.max() - ref.min())
+    if spread < _EPS:
+        scale = max(abs(float(ref.max())), 1.0)
+        return rmse / scale * 100.0
+    return rmse / spread * 100.0
+
+
+def error_for_metric(metric: str, reference, measured) -> float:
+    """Dispatch to :func:`mpe` or :func:`nrmse` by metric name."""
+    if metric == "MPE":
+        return mpe(reference, measured)
+    if metric == "NRMSE":
+        return nrmse(reference, measured)
+    raise ValueError(f"unknown error metric {metric!r}")

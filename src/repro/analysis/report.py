@@ -1,0 +1,75 @@
+"""Text-report helpers: aligned tables and run summaries.
+
+The figure drivers and CLI render through these, and they are public API
+for downstream users who want quick textual views of their own runs.
+"""
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.types import MessageClass
+from repro.sim.machine import Machine
+
+__all__ = ["format_table", "run_summary", "traffic_summary"]
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[str]]) -> str:
+    """Monospace-aligned table with a dashed header rule."""
+    headers = [str(h) for h in headers]
+    rows = [[str(c) for c in row] for row in rows]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)
+
+
+def run_summary(machine: Machine) -> str:
+    """Key counters of a finished run, one per line."""
+    l1 = machine.stats.child("l1")
+    noc = machine.stats.child("noc")
+    dram = machine.stats.child("dram")
+    loads = int(l1.total("loads"))
+    stores = int(l1.total("stores"))
+    misses = int(l1.total("load_misses") + l1.total("store_misses"))
+    accesses = max(loads + stores, 1)
+    rows = [
+        ("cycles", f"{machine.cycles}"),
+        ("L1 accesses", f"{loads + stores} ({loads} loads, {stores} stores)"),
+        ("L1 miss rate", f"{misses / accesses:.2%}"),
+        ("GS serviced", f"{int(l1.total('gs_serviced'))} entries + "
+                        f"{int(l1.total('gs_store_hits'))} hits"),
+        ("GI serviced", f"{int(l1.total('gi_serviced'))} entries + "
+                        f"{int(l1.total('gi_store_hits'))} hits"),
+        ("approx data dropped", f"{int(l1.total('approx_data_dropped'))}"),
+        ("NoC messages", f"{int(noc.total('messages'))} "
+                         f"({int(noc.total('flit_hops'))} flit-hops)"),
+        ("DRAM accesses", f"{int(dram.total('reads'))} reads, "
+                          f"{int(dram.total('writes'))} writes"),
+    ]
+    width = max(len(k) for k, _ in rows)
+    return "\n".join(f"{k.ljust(width)}  {v}" for k, v in rows)
+
+
+def traffic_summary(machine: Machine) -> str:
+    """Fig.-8-style message-class breakdown for one run."""
+    counts = machine.network.class_counts()
+    total = max(sum(counts.values()), 1)
+    rows = [
+        [klass.value, str(counts[klass]), f"{counts[klass] / total:.1%}"]
+        for klass in MessageClass
+    ]
+    rows.append(["total", str(sum(counts.values())), "100.0%"])
+    return format_table(["class", "messages", "share"], rows)

@@ -1,0 +1,64 @@
+"""Offline (trace-driven) store-value similarity analysis.
+
+The live Fig. 2 instrumentation (scribe histograms) compares each store
+against the word *currently resident in the cache*.  When only a
+recorded trace is available, the closest offline approximation compares
+each store against the previous write to the same word in global time
+order — the value that would be resident absent invalidation-induced
+staleness.  Differences between the two views are themselves a measure
+of how much stale data the run exposed.
+
+Implemented with vectorized numpy (sort by (address, time), then a
+shifted comparison within address groups) — no Python-level loop over
+the trace.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scribe.similarity import d_distance_array, similarity_cdf
+from repro.trace.record import Trace
+
+__all__ = ["store_distances", "trace_similarity_cdf"]
+
+
+def store_distances(trace: Trace) -> np.ndarray:
+    """d-distance of every store vs the previous write to the same word.
+
+    First-writes to a word compare against the initial value 0 (what an
+    uninitialized resident word would hold).  Returns one entry per
+    write in the trace, in global time order.
+    """
+    is_write = trace.is_write()
+    if not is_write.any():
+        return np.zeros(0, dtype=np.int64)
+    addrs = trace.addrs[is_write]
+    values = (trace.values[is_write].astype(np.int64)
+              & 0xFFFFFFFF).astype(np.uint32)
+    cycles = trace.cycles[is_write]
+
+    # stable sort by (addr, time): within each address, writes in order
+    order = np.lexsort((cycles, addrs))
+    a_sorted = addrs[order]
+    v_sorted = values[order]
+
+    prev = np.empty_like(v_sorted)
+    prev[1:] = v_sorted[:-1]
+    prev[0] = 0
+    # first write of each address group compares against 0
+    group_start = np.empty(len(a_sorted), dtype=bool)
+    group_start[0] = True
+    group_start[1:] = a_sorted[1:] != a_sorted[:-1]
+    prev[group_start] = 0
+
+    dist_sorted = d_distance_array(v_sorted, prev)
+    # undo the sort so results align with the trace's write order
+    out = np.empty_like(dist_sorted)
+    out[order] = dist_sorted
+    return out
+
+
+def trace_similarity_cdf(trace: Trace, max_d: int = 32) -> np.ndarray:
+    """P(d-distance <= k) over all writes in the trace (a Fig. 2 curve
+    computed offline)."""
+    return similarity_cdf(store_distances(trace), max_d)

@@ -1,0 +1,98 @@
+"""Miss Status Holding Registers.
+
+One entry per in-flight L1 transaction.  The L1 core interface is
+one-outstanding-miss-per-core (in-order cores, as in the paper), but the
+MSHR file is kept general: entries track what response is still expected
+and carry the callback that retires the stalled memory operation.
+"""
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+__all__ = ["MshrEntry", "MshrFile", "MshrKind"]
+
+
+class MshrKind(enum.Enum):
+    """What the outstanding transaction is waiting for."""
+
+    LOAD = "load"        # GETS issued, waiting for DATA
+    STORE = "store"      # GETX issued, waiting for DATA(+acks collected at dir)
+    UPGRADE = "upgrade"  # UPGRADE issued, waiting for ACK (may morph to DATA)
+
+
+class MshrEntry:
+    """One in-flight transaction: what is awaited and how to retire it."""
+    __slots__ = (
+        "block_addr", "kind", "addr", "value", "is_scribble",
+        "on_complete", "issued_at", "deferred", "fill_to_invalid",
+    )
+
+    def __init__(self, block_addr: int, kind: MshrKind, addr: int,
+                 value: int | None, is_scribble: bool,
+                 on_complete: Callable[[], None], issued_at: int) -> None:
+        self.block_addr = block_addr
+        self.kind = kind
+        self.addr = addr               # word address of the stalled access
+        self.value = value             # store value (None for loads)
+        self.is_scribble = is_scribble
+        self.on_complete = on_complete
+        self.issued_at = issued_at
+        #: forwards that overtook the fill and must be serviced right
+        #: after the transaction retires
+        self.deferred: list = []
+        #: an INV arrived during IS_D (gem5's "IS_I"): acknowledge it at
+        #: once, use the eventual fill for the single stalled load, and
+        #: install the line as I instead of S
+        self.fill_to_invalid = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MshrEntry({self.kind.value} @ {self.block_addr:#x}, "
+            f"issued={self.issued_at})"
+        )
+
+
+class MshrFile:
+    """Fixed-capacity map block_addr -> in-flight entry."""
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("MSHR file needs at least one entry")
+        self.capacity = capacity
+        self._entries: dict[int, MshrEntry] = {}
+
+    def full(self) -> bool:
+        """True when no further entry can be allocated."""
+        return len(self._entries) >= self.capacity
+
+    def allocate(self, entry: MshrEntry) -> MshrEntry:
+        """Register a new outstanding transaction (one per block)."""
+        if entry.block_addr in self._entries:
+            raise RuntimeError(
+                f"duplicate outstanding transaction on {entry.block_addr:#x}"
+            )
+        if self.full():
+            raise RuntimeError("MSHR file full")
+        self._entries[entry.block_addr] = entry
+        return entry
+
+    def get(self, block_addr: int) -> MshrEntry | None:
+        """The outstanding entry for a block, or None."""
+        return self._entries.get(block_addr)
+
+    def retire(self, block_addr: int) -> MshrEntry:
+        """Remove and return the completed entry for a block."""
+        entry = self._entries.pop(block_addr, None)
+        if entry is None:
+            raise KeyError(f"no outstanding transaction on {block_addr:#x}")
+        return entry
+
+    def outstanding(self) -> int:
+        """Number of in-flight transactions."""
+        return len(self._entries)
+
+    def __contains__(self, block_addr: int) -> bool:
+        return block_addr in self._entries

@@ -1,0 +1,177 @@
+"""Set-associative SRAM array with tree pseudo-LRU replacement.
+
+Shared by L1 and L2.  Each line carries functional data (the block's 16
+words), a generic ``state`` slot owned by the controller using the array,
+and a ``pinned`` flag so replacement never victimizes a line with an
+outstanding transaction (MSHR semantics).
+"""
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.common.config import CacheConfig
+
+__all__ = ["CacheLine", "CacheArray"]
+
+
+class CacheLine:
+    """One way of one set."""
+
+    __slots__ = ("tag", "state", "words", "pinned", "aux")
+
+    def __init__(self) -> None:
+        self.tag: int | None = None    # block-aligned byte address
+        self.state: Any = None          # controller-owned state object
+        self.words: list[int] | None = None
+        self.pinned = False             # outstanding transaction: not evictable
+        self.aux: Any = None            # controller scratch (e.g. sharer set)
+
+    @property
+    def valid(self) -> bool:
+        """True when the line holds a tag."""
+        return self.tag is not None
+
+    def clear(self) -> None:
+        """Return the line to the empty state."""
+        self.tag = None
+        self.state = None
+        self.words = None
+        self.pinned = False
+        self.aux = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        tag = f"{self.tag:#x}" if self.tag is not None else "-"
+        return f"CacheLine(tag={tag}, state={self.state}, pinned={self.pinned})"
+
+
+class _PlruTree:
+    """Classic binary-tree pseudo-LRU for power-of-two associativity.
+
+    ``bits[i] == 0`` means the *left* subtree is colder (next victim);
+    touching a way flips the bits on its root path to point away from it.
+    """
+
+    __slots__ = ("assoc", "bits")
+
+    def __init__(self, assoc: int) -> None:
+        self.assoc = assoc
+        self.bits = [0] * max(assoc - 1, 1)
+
+    def touch(self, way: int) -> None:
+        if self.assoc == 1:
+            return
+        node = 0
+        span = self.assoc
+        while span > 1:
+            half = span // 2
+            if way < half:
+                self.bits[node] = 1            # point at the right (cold) side
+                node = 2 * node + 1
+            else:
+                self.bits[node] = 0
+                node = 2 * node + 2
+                way -= half
+            span = half
+
+    def victim(self, evictable: Callable[[int], bool]) -> int | None:
+        """PLRU-preferred evictable way, or None if nothing is evictable.
+
+        Follows the PLRU path first; if that way is pinned, falls back to
+        the lowest-numbered evictable way (hardware would stall — callers
+        treat ``None`` as a structural stall).
+        """
+        if self.assoc == 1:
+            return 0 if evictable(0) else None
+        node = 0
+        way = 0
+        span = self.assoc
+        while span > 1:
+            half = span // 2
+            if self.bits[node] == 0:
+                node = 2 * node + 1
+            else:
+                node = 2 * node + 2
+                way += half
+            span = half
+        if evictable(way):
+            return way
+        for w in range(self.assoc):
+            if evictable(w):
+                return w
+        return None
+
+
+class CacheArray:
+    """The tag/data RAM of one cache: sets x ways of :class:`CacheLine`."""
+
+    __slots__ = ("cfg", "_sets", "_plru")
+
+    def __init__(self, cfg: CacheConfig) -> None:
+        self.cfg = cfg
+        self._sets = [
+            [CacheLine() for _ in range(cfg.assoc)] for _ in range(cfg.num_sets)
+        ]
+        self._plru = [_PlruTree(cfg.assoc) for _ in range(cfg.num_sets)]
+
+    # -- lookup ---------------------------------------------------------
+    def lookup(self, block_addr: int, touch: bool = True) -> CacheLine | None:
+        """The line holding ``block_addr``, or None on tag miss."""
+        idx = self.cfg.set_index(block_addr)
+        for way, line in enumerate(self._sets[idx]):
+            if line.tag == block_addr:
+                if touch:
+                    self._plru[idx].touch(way)
+                return line
+        return None
+
+    def touch(self, block_addr: int) -> None:
+        """Mark the block most-recently-used (PLRU update only)."""
+        self.lookup(block_addr, touch=True)
+
+    # -- allocation -------------------------------------------------------
+    def find_free_or_victim(
+        self, block_addr: int, evictable: Callable[[CacheLine], bool]
+    ) -> CacheLine | None:
+        """Line to place ``block_addr`` into: an invalid way if one exists,
+        else the PLRU victim among lines passing ``evictable``.  The caller
+        must handle the victim's current contents (writeback etc.) and then
+        install the new tag.  Returns None when the set is fully pinned.
+        """
+        idx = self.cfg.set_index(block_addr)
+        ways = self._sets[idx]
+        for line in ways:
+            if not line.valid and not line.pinned:
+                return line
+        victim_way = self._plru[idx].victim(
+            lambda w: not ways[w].pinned and evictable(ways[w])
+        )
+        return None if victim_way is None else ways[victim_way]
+
+    def install(self, line: CacheLine, block_addr: int) -> None:
+        """Claim a line for a new tag and mark it most-recently-used."""
+        idx = self.cfg.set_index(block_addr)
+        ways = self._sets[idx]
+        if line not in ways:
+            raise ValueError("line does not belong to the target set")
+        line.tag = block_addr
+        self._plru[idx].touch(ways.index(line))
+
+    # -- iteration / introspection ------------------------------------
+    def iter_lines(self) -> Iterator[CacheLine]:
+        """Every line of every set, in set-major order."""
+        for ways in self._sets:
+            yield from ways
+
+    def iter_valid(self) -> Iterator[CacheLine]:
+        """Every line currently holding a tag."""
+        for line in self.iter_lines():
+            if line.valid:
+                yield line
+
+    def set_of(self, block_addr: int) -> list[CacheLine]:
+        """The ways of the set this block maps to."""
+        return self._sets[self.cfg.set_index(block_addr)]
+
+    def occupancy(self) -> int:
+        """Number of valid lines in the array."""
+        return sum(1 for _ in self.iter_valid())

@@ -1,0 +1,135 @@
+"""The Ghostwriter protocol's L1 transition table — Fig. 3, explicitly.
+
+A declarative (state, event) -> (next state, action) table for the
+stable-state protocol, in three roles:
+
+* **documentation** — :func:`render_fig3` prints the state machine the
+  way the paper draws it;
+* **conformance oracle** — the test suite drives the simulator through
+  each entry and checks the observed transition against this table
+  (``tests/coherence/test_transition_table.py``);
+* **API** — :func:`next_state` lets tools reason about the protocol
+  without instantiating a machine.
+
+Events are the local-core accesses and the remote-induced messages a
+stable L1 block can see.  Scribble events are split by the outcome of
+the scribe similarity check, because that check is what selects between
+the approximate and conventional paths (§3.1).
+"""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.types import CoherenceState as CS
+
+__all__ = ["Event", "Transition", "TRANSITIONS", "next_state",
+           "render_fig3"]
+
+
+class Event(enum.Enum):
+    """Stimuli a stable L1 block can receive."""
+
+    LOAD = "Load"
+    STORE = "Store"
+    SCRIBBLE_SIMILAR = "Scribble(similar)"
+    SCRIBBLE_DISSIMILAR = "Scribble(dissimilar)"
+    REMOTE_GETS = "Fwd_GETS/Inv-free read"   # a remote load
+    REMOTE_GETX = "Inv/Fwd_GETX"             # a remote conventional store
+    GI_TIMEOUT = "Timeout"
+    EVICT = "Replacement"
+
+
+@dataclass(frozen=True, slots=True)
+class Transition:
+    """One edge of the protocol state machine."""
+
+    state: CS
+    event: Event
+    next_state: CS
+    action: str
+
+
+#: The stable-state Ghostwriter protocol over MESI (Fig. 3).  ``I`` rows
+#: assume the tag is present (the paper's reading of I); a full tag miss
+#: always takes the conventional miss path.
+TRANSITIONS: tuple[Transition, ...] = (
+    # ---- I (tag present) -------------------------------------------------
+    Transition(CS.I, Event.LOAD, CS.S, "GETS; fill shared (E if sole)"),
+    Transition(CS.I, Event.STORE, CS.M, "GETX; fill + write"),
+    Transition(CS.I, Event.SCRIBBLE_SIMILAR, CS.GI,
+               "write locally; no GETX; arm timeout"),
+    Transition(CS.I, Event.SCRIBBLE_DISSIMILAR, CS.M, "fallback GETX"),
+    Transition(CS.I, Event.REMOTE_GETX, CS.I, "ack stray invalidation"),
+    Transition(CS.I, Event.EVICT, CS.I, "drop tag"),
+    # ---- S ----------------------------------------------------------------
+    Transition(CS.S, Event.LOAD, CS.S, "hit"),
+    Transition(CS.S, Event.STORE, CS.M, "UPGRADE; invalidate sharers"),
+    Transition(CS.S, Event.SCRIBBLE_SIMILAR, CS.GS,
+               "write locally; no UPGRADE"),
+    Transition(CS.S, Event.SCRIBBLE_DISSIMILAR, CS.M, "fallback UPGRADE"),
+    Transition(CS.S, Event.REMOTE_GETS, CS.S, "no action"),
+    Transition(CS.S, Event.REMOTE_GETX, CS.I, "invalidate; ack"),
+    Transition(CS.S, Event.EVICT, CS.I, "PUTS (prune sharer)"),
+    # ---- E ----------------------------------------------------------------
+    Transition(CS.E, Event.LOAD, CS.E, "hit"),
+    Transition(CS.E, Event.STORE, CS.M, "silent upgrade"),
+    Transition(CS.E, Event.SCRIBBLE_SIMILAR, CS.M, "store path (silent)"),
+    Transition(CS.E, Event.SCRIBBLE_DISSIMILAR, CS.M, "store path (silent)"),
+    Transition(CS.E, Event.REMOTE_GETS, CS.S, "forward data; downgrade"),
+    Transition(CS.E, Event.REMOTE_GETX, CS.I, "forward data; invalidate"),
+    Transition(CS.E, Event.EVICT, CS.I, "PUTE (clean notice)"),
+    # ---- M ----------------------------------------------------------------
+    Transition(CS.M, Event.LOAD, CS.M, "hit"),
+    Transition(CS.M, Event.STORE, CS.M, "hit"),
+    Transition(CS.M, Event.SCRIBBLE_SIMILAR, CS.M, "hit"),
+    Transition(CS.M, Event.SCRIBBLE_DISSIMILAR, CS.M, "hit"),
+    Transition(CS.M, Event.REMOTE_GETS, CS.S,
+               "forward data; copy back; downgrade (O under MOESI)"),
+    Transition(CS.M, Event.REMOTE_GETX, CS.I, "forward data; invalidate"),
+    Transition(CS.M, Event.EVICT, CS.I, "PUTM (dirty writeback)"),
+    # ---- GS ---------------------------------------------------------------
+    Transition(CS.GS, Event.LOAD, CS.GS, "hit (possibly stale)"),
+    Transition(CS.GS, Event.STORE, CS.GS, "hit, local-only write"),
+    Transition(CS.GS, Event.SCRIBBLE_SIMILAR, CS.GS,
+               "hit, local-only write"),
+    Transition(CS.GS, Event.SCRIBBLE_DISSIMILAR, CS.M,
+               "fallback UPGRADE publishes the local block"),
+    Transition(CS.GS, Event.REMOTE_GETS, CS.GS, "no action (still sharer)"),
+    Transition(CS.GS, Event.REMOTE_GETX, CS.I,
+               "invalidate; local updates forfeited"),
+    Transition(CS.GS, Event.EVICT, CS.I,
+               "PUTS; local updates forfeited"),
+    # ---- GI ---------------------------------------------------------------
+    Transition(CS.GI, Event.LOAD, CS.GI, "hit (stale)"),
+    Transition(CS.GI, Event.STORE, CS.GI, "hit, local-only write"),
+    Transition(CS.GI, Event.SCRIBBLE_SIMILAR, CS.GI,
+               "hit, local-only write"),
+    Transition(CS.GI, Event.SCRIBBLE_DISSIMILAR, CS.M, "fallback GETX"),
+    Transition(CS.GI, Event.GI_TIMEOUT, CS.I,
+               "flash-invalidate; updates forfeited"),
+    Transition(CS.GI, Event.EVICT, CS.I,
+               "silent drop; updates forfeited"),
+)
+
+_INDEX = {(t.state, t.event): t for t in TRANSITIONS}
+
+
+def next_state(state: CS, event: Event) -> Transition | None:
+    """The table entry for (state, event), or None if the combination
+    cannot occur for a stable block."""
+    return _INDEX.get((state, event))
+
+
+def render_fig3() -> str:
+    """Fig. 3 as a state-grouped text table."""
+    lines = ["Fig. 3: Ghostwriter L1 protocol (stable states)"]
+    for state in (CS.I, CS.S, CS.E, CS.M, CS.GS, CS.GI):
+        lines.append(f"\n[{state.value}]")
+        for t in TRANSITIONS:
+            if t.state is state:
+                lines.append(
+                    f"  {t.event.value:<22} -> {t.next_state.value:<3} "
+                    f"({t.action})"
+                )
+    return "\n".join(lines)

@@ -1,0 +1,342 @@
+"""Simulation configuration — the reproduction of the paper's Table 1.
+
+Defaults mirror the paper's gem5 setup (24 in-order cores, 32 kB 2-way L1,
+128 kB/core 8-way shared L2, 6x4 mesh with four corner directory
+controllers, 1024-cycle GI timeout).  Every knob the evaluation sweeps
+(d-distance, GI timeout, core count) is a plain dataclass field so sweeps
+are `dataclasses.replace` calls.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+__all__ = [
+    "CacheConfig",
+    "NocConfig",
+    "DramConfig",
+    "GhostwriterConfig",
+    "SimConfig",
+    "table1_rows",
+]
+
+
+def _check_power_of_two(name: str, value: int) -> None:
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{name} must be a positive power of two, got {value}")
+
+
+@dataclass(frozen=True, slots=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    size_bytes: int
+    assoc: int
+    block_bytes: int = 64
+    hit_latency: int = 2
+
+    def __post_init__(self) -> None:
+        _check_power_of_two("cache size", self.size_bytes)
+        _check_power_of_two("associativity", self.assoc)
+        _check_power_of_two("block size", self.block_bytes)
+        if self.hit_latency < 1:
+            raise ValueError("hit latency must be >= 1 cycle")
+        if self.size_bytes < self.assoc * self.block_bytes:
+            raise ValueError("cache smaller than one set")
+
+    @property
+    def num_blocks(self) -> int:
+        """Total cache lines."""
+        return self.size_bytes // self.block_bytes
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (blocks / associativity)."""
+        return self.num_blocks // self.assoc
+
+    @property
+    def words_per_block(self) -> int:
+        """32-bit words per cache block."""
+        return self.block_bytes // 4
+
+    def set_index(self, block_addr: int) -> int:
+        """Set index for a block-aligned byte address."""
+        return (block_addr // self.block_bytes) % self.num_sets
+
+
+@dataclass(frozen=True, slots=True)
+class NocConfig:
+    """2D mesh network-on-chip parameters."""
+
+    mesh_cols: int = 6
+    mesh_rows: int = 4
+    router_latency: int = 1
+    link_latency: int = 1
+    flit_bytes: int = 16
+    control_msg_bytes: int = 8
+    #: Node ids (row-major) hosting the directory controllers; defaults to
+    #: the four mesh corners as in Table 1.
+    directory_nodes: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.mesh_cols < 1 or self.mesh_rows < 1:
+            raise ValueError("mesh dimensions must be positive")
+        if not self.directory_nodes:
+            object.__setattr__(self, "directory_nodes", self.corner_nodes())
+        for n in self.directory_nodes:
+            if not 0 <= n < self.num_nodes:
+                raise ValueError(f"directory node {n} outside mesh")
+
+    @property
+    def num_nodes(self) -> int:
+        """Total mesh nodes (cols x rows)."""
+        return self.mesh_cols * self.mesh_rows
+
+    def corner_nodes(self) -> tuple[int, ...]:
+        """The four mesh-corner node ids (Table 1's directory placement)."""
+        c, r = self.mesh_cols, self.mesh_rows
+        corners = {0, c - 1, c * (r - 1), c * r - 1}
+        return tuple(sorted(corners))
+
+    def coords(self, node: int) -> tuple[int, int]:
+        """(col, row) of a row-major node id."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} outside mesh")
+        return node % self.mesh_cols, node // self.mesh_cols
+
+    def hops(self, src: int, dst: int) -> int:
+        """XY-routed hop count between two nodes."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def flits(self, payload_bytes: int) -> int:
+        """Number of flits for a message of the given payload size."""
+        if payload_bytes <= 0:
+            raise ValueError("payload must be positive")
+        return -(-payload_bytes // self.flit_bytes)
+
+    def message_latency(self, src: int, dst: int, payload_bytes: int) -> int:
+        """End-to-end latency: per-hop router+link plus serialization."""
+        if src == dst:
+            return self.router_latency  # local turnaround
+        hops = self.hops(src, dst)
+        per_hop = self.router_latency + self.link_latency
+        return hops * per_hop + (self.flits(payload_bytes) - 1)
+
+
+@dataclass(frozen=True, slots=True)
+class DramConfig:
+    """Main-memory timing (DDR3-1600-class, heavily abstracted)."""
+
+    access_latency: int = 100
+    num_banks: int = 8
+    bank_busy_cycles: int = 24
+    size_bytes: int = 2 * 1024**3
+
+    def __post_init__(self) -> None:
+        if self.access_latency < 1:
+            raise ValueError("DRAM latency must be >= 1")
+        _check_power_of_two("DRAM banks", self.num_banks)
+
+
+@dataclass(frozen=True, slots=True)
+class GhostwriterConfig:
+    """Knobs of the Ghostwriter protocol extension."""
+
+    #: Protocol on/off switch; False simulates pure baseline MESI (the
+    #: paper's "0 d-distance" bars).
+    enabled: bool = True
+    #: Maximum number of differing least-significant bits for a scribble
+    #: to be serviced approximately.
+    d_distance: int = 4
+    #: Periodic flash-invalidate interval for GI blocks, in cycles.
+    gi_timeout: int = 1024
+    #: Similarity semantics for the scribe comparator.  "bitwise" is the
+    #: paper's XNOR d-distance; "arithmetic" treats values as signed ints
+    #: and accepts |a - b| < 2**d — the extension the paper leaves as
+    #: future work (§3.4: -1 vs 0 are arithmetically close but 32-distance
+    #: apart bit-wise).
+    similarity_mode: str = "bitwise"
+    #: Optional bound on the number of approximate stores absorbed per
+    #: GS/GI episode; once exceeded, the next scribble falls back to the
+    #: conventional path, re-cohering the block.  Implements the
+    #: light-weight runtime error-bounding the paper points to in §3.5.
+    #: None disables the budget.
+    approx_write_budget: int | None = None
+    #: How a dissimilar scribble falls back from GS.  False (default):
+    #: UPGRADE in place, publishing the whole locally-modified block —
+    #: other threads' words are re-published from the holder's (d-similar,
+    #: slightly stale) view, which measures as both faster and lower-error
+    #: (see benchmarks/test_ablation_gs_fallback.py).  True: a full GETX
+    #: that discards the divergent copy and publishes only the store's own
+    #: word.  Exposed as an ablation knob.
+    gs_fallback_getx: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.d_distance <= 32:
+            raise ValueError("d-distance must be in [0, 32]")
+        if self.gi_timeout < 1:
+            raise ValueError("GI timeout must be positive")
+        if self.similarity_mode not in ("bitwise", "arithmetic"):
+            raise ValueError(
+                f"unknown similarity mode {self.similarity_mode!r}"
+            )
+        if self.approx_write_budget is not None and self.approx_write_budget < 1:
+            raise ValueError("approx write budget must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class SimConfig:
+    """Top-level simulated-machine configuration (paper Table 1)."""
+
+    num_cores: int = 24
+    core_freq_ghz: float = 1.0
+    l1: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024, 2, 64, 2))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(128 * 1024, 8, 64, 10))
+    noc: NocConfig = field(default_factory=NocConfig)
+    dram: DramConfig = field(default_factory=DramConfig)
+    ghostwriter: GhostwriterConfig = field(default_factory=GhostwriterConfig)
+    #: Baseline write-invalidate protocol the Ghostwriter states extend:
+    #: "mesi" (the paper's evaluation baseline) or "moesi" (the paper's
+    #: claim that GS/GI "can be added to most existing protocols").
+    protocol: str = "mesi"
+    #: Directory state lookup/update occupancy per transaction, in
+    #: cycles.  Serializes same-block transactions at the home, which is
+    #: what makes heavy false sharing collapse (Fig. 1).
+    dir_access_latency: int = 6
+    #: Max consecutive L1-hit ops a core executes per scheduler event.
+    #: 1 (default) gives strict event ordering — larger values batch hits
+    #: for simulator speed but let a core slip past in-flight
+    #: invalidations, *understating* contention on heavily false-shared
+    #: blocks (measurably so on Fig. 1/Fig. 10).
+    core_quantum: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ValueError("need at least one core")
+        if self.num_cores > self.noc.num_nodes:
+            raise ValueError(
+                f"{self.num_cores} cores do not fit a "
+                f"{self.noc.mesh_cols}x{self.noc.mesh_rows} mesh"
+            )
+        if self.l1.block_bytes != self.l2.block_bytes:
+            raise ValueError("L1/L2 block sizes must match")
+        if self.core_quantum < 1:
+            raise ValueError("core quantum must be >= 1")
+        if self.protocol not in ("mesi", "moesi"):
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.dir_access_latency < 0:
+            raise ValueError("directory latency cannot be negative")
+
+    @property
+    def block_bytes(self) -> int:
+        """Cache block size shared by L1 and L2."""
+        return self.l1.block_bytes
+
+    def with_ghostwriter(
+        self, *, enabled: bool | None = None, d_distance: int | None = None,
+        gi_timeout: int | None = None,
+    ) -> "SimConfig":
+        """Copy with updated Ghostwriter knobs (sweep helper)."""
+        gw = self.ghostwriter
+        return replace(
+            self,
+            ghostwriter=GhostwriterConfig(
+                enabled=gw.enabled if enabled is None else enabled,
+                d_distance=gw.d_distance if d_distance is None else d_distance,
+                gi_timeout=gw.gi_timeout if gi_timeout is None else gi_timeout,
+                similarity_mode=gw.similarity_mode,
+                approx_write_budget=gw.approx_write_budget,
+                gs_fallback_getx=gw.gs_fallback_getx,
+            ),
+        )
+
+    def with_cores(self, num_cores: int) -> "SimConfig":
+        """Copy with a different core count (thread-sweep helper)."""
+        return replace(self, num_cores=num_cores)
+
+    def home_directory(self, block_addr: int) -> int:
+        """NoC node of the directory controller owning this block."""
+        dirs = self.noc.directory_nodes
+        return dirs[(block_addr // self.block_bytes) % len(dirs)]
+
+    def home_l2_slice(self, block_addr: int) -> int:
+        """NoC node of the L2 slice holding this block (address interleave)."""
+        return (block_addr // self.block_bytes) % self.num_cores
+
+    def block_base(self, addr: int) -> int:
+        """Block-aligned base address of ``addr``."""
+        return addr - (addr % self.block_bytes)
+
+
+def table1_rows(cfg: SimConfig) -> list[tuple[str, str]]:
+    """Render a config as the rows of the paper's Table 1."""
+    gw = cfg.ghostwriter
+    proto = (
+        f"Ghostwriter (baseline MESI), d-distance {gw.d_distance}, "
+        f"{gw.gi_timeout}-cycle GI timeout"
+        if gw.enabled
+        else "Baseline MESI"
+    )
+    return [
+        ("Cores", f"{cfg.num_cores} in-order cores, {cfg.core_freq_ghz:g}GHz"),
+        (
+            "L1",
+            f"Private {cfg.l1.size_bytes // 1024}kB D-Cache, "
+            f"{cfg.l1.assoc}-Way Set Assoc., {cfg.l1.block_bytes}B Block, "
+            f"Pseudo-LRU, {cfg.l1.hit_latency}-cycle",
+        ),
+        (
+            "L2",
+            f"Shared, {cfg.l2.size_bytes // 1024}kB per core, "
+            f"{cfg.l2.assoc}-Way Set Assoc., {cfg.l2.block_bytes}B Block, "
+            f"Pseudo-LRU, {cfg.l2.hit_latency}-cycle",
+        ),
+        ("Coherence", proto),
+        (
+            "Network",
+            f"{cfg.noc.mesh_cols}x{cfg.noc.mesh_rows} Mesh, XY Routing, "
+            f"{cfg.noc.router_latency}-cycle router, "
+            f"{cfg.noc.link_latency}-cycle link, "
+            f"{len(cfg.noc.directory_nodes)} Directory Controllers at Mesh Corners",
+        ),
+        ("DRAM", f"{cfg.dram.size_bytes // 1024**3}GB, DDR3 1600MHz"),
+    ]
+
+
+def default_config() -> SimConfig:
+    """The paper's Table 1 machine."""
+    return SimConfig()
+
+
+def small_config(
+    num_cores: int = 4,
+    *,
+    enabled: bool = True,
+    d_distance: int = 4,
+    gi_timeout: int = 1024,
+    core_quantum: int = 8,
+) -> SimConfig:
+    """A scaled-down machine for tests and quick examples.
+
+    Keeps the paper's structure (2-way L1, 8-way shared L2, mesh with
+    corner directories) at a size where unit tests can exercise evictions.
+    """
+    cols = max(2, min(num_cores, 4))
+    rows = -(-num_cores // cols)
+    rows = max(rows, 2)
+    return SimConfig(
+        num_cores=num_cores,
+        l1=CacheConfig(1024, 2, 64, 2),
+        l2=CacheConfig(4096, 8, 64, 10),
+        noc=NocConfig(mesh_cols=cols, mesh_rows=rows),
+        dram=DramConfig(access_latency=60),
+        ghostwriter=GhostwriterConfig(
+            enabled=enabled, d_distance=d_distance, gi_timeout=gi_timeout
+        ),
+        core_quantum=core_quantum,
+    )
+
+
+__all__ += ["default_config", "small_config"]

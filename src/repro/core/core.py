@@ -1,0 +1,161 @@
+"""In-order core model.
+
+A core drives one thread program (a generator of ISA ops) against its
+private L1.  Hits and compute are executed in batches of up to
+``core_quantum`` L1-hit-equivalents without touching the event queue (the
+dominant simulator-performance optimization — see the HPC guide's
+"measure, then remove the bottleneck"); any miss, sync op, or exhausted
+quantum yields back to the scheduler.  The resulting event-order skew is
+bounded by the quantum (default 8 ops = 16 cycles) and is configurable
+down to 1 for strictly ordered runs.
+"""
+from __future__ import annotations
+
+from typing import Generator, Iterator
+
+from repro.cache.l1 import L1Controller
+from repro.common.stats import StatGroup
+from repro.common.types import AccessType
+from repro.isa.approx import ApproxManager
+from repro.isa import instructions as isa
+from repro.sim.engine import Engine
+
+__all__ = ["Core", "ThreadProgram"]
+
+#: A thread program yields ISA ops and receives load values via ``send``.
+ThreadProgram = Generator["isa.Op", "int | None", None]
+
+_PRAGMA_COST = 1  # cycles charged for setaprx/endaprx/region pragmas
+
+
+class Core:
+    """One in-order core executing one thread program."""
+
+    def __init__(
+        self,
+        cid: int,
+        engine: Engine,
+        l1: L1Controller,
+        program: Iterator,
+        stats: StatGroup,
+        quantum: int = 8,
+    ) -> None:
+        self.cid = cid
+        self.engine = engine
+        self.l1 = l1
+        self.program = program
+        self.stats = stats
+        self.quantum_cycles = max(1, quantum) * l1.cfg.l1.hit_latency
+        self.approx = ApproxManager()
+        self.done = False
+        self.finish_cycle: int | None = None
+        self._pending_send: int | None = None
+        self._started = False
+        self._blocked_since = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the core's first step at cycle 0."""
+        if self._started:
+            raise RuntimeError(f"core {self.cid} already started")
+        self._started = True
+        self.engine.schedule(0, self._step)
+
+    def _resume_with(self, value: int | None) -> None:
+        """Continuation for miss completion / sync wakeup."""
+        self.stats.stall_cycles += self.engine.now - self._blocked_since
+        self._pending_send = value
+        self._step()
+
+    # ------------------------------------------------------------------
+    def _step(self) -> None:
+        """Run ops until a blocking op or the quantum is exhausted."""
+        if self.done:
+            return
+        budget = self.quantum_cycles
+        elapsed = 0
+        hit_latency = self.l1.cfg.l1.hit_latency
+        program = self.program
+        st = self.stats
+
+        while elapsed < budget:
+            try:
+                if self._pending_send is not None:
+                    value, self._pending_send = self._pending_send, None
+                    op = program.send(value)
+                else:
+                    op = next(program)
+            except StopIteration:
+                self.done = True
+                self.finish_cycle = self.engine.now + elapsed
+                st.finish_cycle = self.finish_cycle
+                return
+
+            cls = type(op)
+            if cls is isa.Load:
+                st.mem_ops += 1
+                hit, val = self.l1.access(
+                    AccessType.LOAD, op.addr, None, self._resume_with
+                )
+                if hit:
+                    elapsed += hit_latency
+                    self._pending_send = val
+                    continue
+                self._blocked_since = self.engine.now
+                return
+            if cls is isa.Store or cls is isa.Scribble:
+                st.mem_ops += 1
+                atype = AccessType.SCRIBBLE if (
+                    cls is isa.Scribble or self.approx.is_approx(op.addr)
+                ) else AccessType.STORE
+                hit, _ = self.l1.access(
+                    atype, op.addr, op.value, self._resume_with
+                )
+                if hit:
+                    elapsed += hit_latency
+                    # stores produce no value; send(None) ~ next()
+                    continue
+                self._blocked_since = self.engine.now
+                return
+            if cls is isa.Compute:
+                st.compute_cycles += op.cycles
+                elapsed += op.cycles
+                continue
+            if cls is isa.BarrierWait:
+                self._blocked_since = self.engine.now
+                op.barrier.arrive(lambda: self._resume_with(None))
+                st.barrier_waits += 1
+                return
+            if cls is isa.Acquire:
+                self._blocked_since = self.engine.now
+                op.lock.acquire(self.cid, lambda: self._resume_with(None))
+                return
+            if cls is isa.Release:
+                op.lock.release(self.cid)
+                elapsed += _PRAGMA_COST
+                continue
+            if cls is isa.SetAprx:
+                self.l1.set_approx(op.d_distance)
+                elapsed += _PRAGMA_COST
+                continue
+            if cls is isa.EndAprx:
+                self.l1.end_approx()
+                elapsed += _PRAGMA_COST
+                continue
+            if cls is isa.ApproxBegin:
+                self.approx.begin(op.ranges)
+                elapsed += _PRAGMA_COST
+                continue
+            if cls is isa.ApproxEnd:
+                self.approx.end(op.ranges)
+                elapsed += _PRAGMA_COST
+                continue
+            if cls is isa.FlushApprox:
+                self.l1.flush_approx()
+                elapsed += _PRAGMA_COST
+                continue
+            raise TypeError(f"thread program yielded {op!r}")
+
+        # quantum exhausted: let other events interleave
+        st.quantum_yields += 1
+        self.engine.schedule(elapsed, self._step)

@@ -1,0 +1,90 @@
+"""Scheduler-level synchronization primitives.
+
+Barriers and locks are runtime services rather than memory-based
+spinlocks (see DESIGN.md substitution 5): the paper's figures measure the
+kernels' *data* accesses, and modelling pthread internals would only add
+unrelated traffic.  Both primitives are deterministic: waiters are
+released in arrival order.
+"""
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.sim.engine import Engine
+
+__all__ = ["Barrier", "Lock"]
+
+#: cycles between the releasing event and a waiter resuming
+_WAKE_LATENCY = 1
+
+
+class Barrier:
+    """Reusable (generation-counted) barrier for ``parties`` cores."""
+
+    __slots__ = ("engine", "parties", "_waiting", "generation")
+
+    def __init__(self, engine: Engine, parties: int) -> None:
+        if parties < 1:
+            raise ValueError("barrier needs at least one party")
+        self.engine = engine
+        self.parties = parties
+        self._waiting: list[Callable[[], None]] = []
+        self.generation = 0
+
+    def arrive(self, resume: Callable[[], None]) -> None:
+        """Register arrival; ``resume`` fires when the last party arrives."""
+        self._waiting.append(resume)
+        if len(self._waiting) > self.parties:
+            raise RuntimeError("more arrivals than barrier parties")
+        if len(self._waiting) == self.parties:
+            waiters, self._waiting = self._waiting, []
+            self.generation += 1
+            for cb in waiters:
+                self.engine.schedule(_WAKE_LATENCY, cb)
+
+    @property
+    def waiting(self) -> int:
+        """Number of parties currently blocked."""
+        return len(self._waiting)
+
+
+class Lock:
+    """FIFO mutex."""
+
+    __slots__ = ("engine", "_held", "_queue", "owner")
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._held = False
+        self._queue: deque[tuple[int, Callable[[], None]]] = deque()
+        self.owner: int | None = None
+
+    def acquire(self, holder: int, resume: Callable[[], None]) -> None:
+        """Take the lock or queue; ``resume`` fires once granted."""
+        if not self._held:
+            self._held = True
+            self.owner = holder
+            self.engine.schedule(_WAKE_LATENCY, resume)
+        else:
+            self._queue.append((holder, resume))
+
+    def release(self, holder: int) -> None:
+        """Release the lock, waking the next queued acquirer (FIFO)."""
+        if not self._held:
+            raise RuntimeError("release of an unheld lock")
+        if self.owner != holder:
+            raise RuntimeError(
+                f"core {holder} released a lock held by core {self.owner}"
+            )
+        if self._queue:
+            self.owner, resume = self._queue.popleft()
+            self.engine.schedule(_WAKE_LATENCY, resume)
+        else:
+            self._held = False
+            self.owner = None
+
+    @property
+    def held(self) -> bool:
+        """True while some core holds the lock."""
+        return self._held

@@ -1,0 +1,100 @@
+"""Dynamic-energy accounting over a finished run (Fig. 9's inputs).
+
+Walks a machine's statistics tree and applies the CACTI-like and
+DSENT-like models.  The paper's "memory hierarchy" bucket is L1 + L2 +
+DRAM; the NoC is reported separately and Fig. 9 plots their sum's
+savings against the baseline run.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import SimConfig
+from repro.energy.cacti import CacheEnergyModel, DramEnergyModel
+from repro.energy.dsent import NocEnergyModel
+from repro.sim.machine import Machine
+
+__all__ = ["EnergyReport", "EnergyAccountant"]
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyReport:
+    """Per-component dynamic energy of one run, in picojoules."""
+
+    l1_pj: float
+    l2_pj: float
+    dram_pj: float
+    noc_pj: float
+
+    @property
+    def memory_pj(self) -> float:
+        """The paper's 'memory hierarchy': L1 + L2 + main memory."""
+        return self.l1_pj + self.l2_pj + self.dram_pj
+
+    @property
+    def total_pj(self) -> float:
+        """Memory hierarchy plus NoC."""
+        return self.memory_pj + self.noc_pj
+
+    def savings_vs(self, baseline: "EnergyReport") -> "EnergySavings":
+        """Percent dynamic energy saved relative to a baseline run."""
+        return EnergySavings(
+            memory_pct=_savings(baseline.memory_pj, self.memory_pj),
+            noc_pct=_savings(baseline.noc_pj, self.noc_pj),
+            total_pct=_savings(baseline.total_pj, self.total_pj),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class EnergySavings:
+    """Fig. 9 bars: percent dynamic energy saved vs the MESI baseline."""
+
+    memory_pct: float
+    noc_pct: float
+    total_pct: float
+
+
+def _savings(base: float, ours: float) -> float:
+    if base <= 0:
+        return 0.0
+    return (base - ours) / base * 100.0
+
+
+class EnergyAccountant:
+    """Applies the energy models to a machine's counters."""
+
+    def __init__(self, cfg: SimConfig) -> None:
+        self.cfg = cfg
+        self.l1_model = CacheEnergyModel.from_config(cfg.l1)
+        self.l2_model = CacheEnergyModel.from_config(cfg.l2)
+        self.dram_model = DramEnergyModel.from_config(cfg.dram)
+        self.noc_model = NocEnergyModel.from_config(cfg.noc)
+
+    def report(self, machine: Machine) -> EnergyReport:
+        """Compute the per-component dynamic energy of a finished run."""
+        stats = machine.stats
+        # --- L1: every access probes tag+data; stores and fills write ---
+        l1 = stats.child("l1")
+        l1_reads = l1.total("loads") + l1.total("stores")
+        l1_writes = l1.total("store_hits") + l1.total("misses_issued")
+        l1_pj = self.l1_model.access_energy_pj(l1_reads, l1_writes)
+
+        # --- L2 slices -------------------------------------------------
+        l2 = stats.child("l2")
+        l2_pj = self.l2_model.access_energy_pj(
+            l2.total("reads"), l2.total("writes")
+        )
+
+        # --- DRAM ------------------------------------------------------
+        dram = stats.child("dram")
+        dram_pj = self.dram_model.access_energy_pj(
+            dram.total("reads"), dram.total("writes")
+        )
+
+        # --- NoC ---------------------------------------------------------
+        noc = stats.child("noc")
+        noc_pj = self.noc_model.energy_pj(
+            noc.total("router_traversals"), noc.total("flit_hops")
+        )
+        return EnergyReport(l1_pj=l1_pj, l2_pj=l2_pj, dram_pj=dram_pj,
+                            noc_pj=noc_pj)

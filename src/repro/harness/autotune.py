@@ -1,0 +1,106 @@
+"""Quality-target auto-tuning of the d-distance knob.
+
+The paper (§3.5) points at PGO/auto-tuning frameworks (Green, SAGE,
+dynamic knobs) for selecting the d-distance that meets "an output
+quality target specified by the user".  This module implements that
+loop for the reproduction: profile-guided search over d for the largest
+setting whose measured output error stays within the target.
+
+Error is monotone (non-decreasing) in d for these workloads — enforced
+by the test suite — so a binary search over the discrete knob suffices.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.experiment import (
+    DEFAULT_SCALE, DEFAULT_THREADS, RunRow, run_workload,
+)
+
+__all__ = ["TuneResult", "tune_d_distance"]
+
+
+@dataclass(frozen=True, slots=True)
+class TuneResult:
+    """Outcome of an auto-tuning session."""
+
+    workload: str
+    error_target_pct: float
+    chosen_d: int
+    chosen_row: RunRow
+    baseline_cycles: int
+    #: every (d, error%) pair evaluated during the search
+    evaluations: tuple[tuple[int, float], ...]
+
+    @property
+    def speedup_pct(self) -> float:
+        """Speedup of the chosen setting vs baseline MESI."""
+        return (self.baseline_cycles / self.chosen_row.cycles - 1.0) * 100.0
+
+    def render(self) -> str:
+        """Human-readable tuning session summary."""
+        evals = ", ".join(f"d={d}: {e:.3f}%" for d, e in self.evaluations)
+        return (
+            f"auto-tune {self.workload} for error <= "
+            f"{self.error_target_pct}%:\n"
+            f"  chose d={self.chosen_d} "
+            f"(error {self.chosen_row.error_pct:.3f}%, "
+            f"speedup {self.speedup_pct:+.2f}%)\n"
+            f"  evaluated: {evals}"
+        )
+
+
+def tune_d_distance(
+    workload: str,
+    error_target_pct: float,
+    *,
+    d_candidates: tuple[int, ...] = (1, 2, 4, 8, 12, 16),
+    num_threads: int = DEFAULT_THREADS,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 12345,
+    **workload_kwargs,
+) -> TuneResult:
+    """Largest d whose measured error meets the target (0 if none does).
+
+    Runs the baseline once (for the speedup denominator), then binary
+    searches the sorted candidate list, profiling one run per probe.
+    """
+    if error_target_pct < 0:
+        raise ValueError("error target must be non-negative")
+    candidates = tuple(sorted(set(d_candidates)))
+    if not candidates or candidates[0] < 1 or candidates[-1] > 32:
+        raise ValueError("d candidates must be within [1, 32]")
+
+    baseline = run_workload(workload, d_distance=0, num_threads=num_threads,
+                            scale=scale, seed=seed, **workload_kwargs)
+
+    evaluations: list[tuple[int, float]] = []
+    rows: dict[int, RunRow] = {}
+    lo, hi = 0, len(candidates) - 1
+    best: int | None = None
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        d = candidates[mid]
+        row = run_workload(workload, d_distance=d, num_threads=num_threads,
+                           scale=scale, seed=seed, **workload_kwargs)
+        rows[d] = row
+        evaluations.append((d, row.error_pct))
+        if row.error_pct <= error_target_pct:
+            best = d
+            lo = mid + 1
+        else:
+            hi = mid - 1
+
+    if best is None:
+        return TuneResult(
+            workload=workload, error_target_pct=error_target_pct,
+            chosen_d=0, chosen_row=baseline,
+            baseline_cycles=baseline.cycles,
+            evaluations=tuple(evaluations),
+        )
+    return TuneResult(
+        workload=workload, error_target_pct=error_target_pct,
+        chosen_d=best, chosen_row=rows[best],
+        baseline_cycles=baseline.cycles,
+        evaluations=tuple(evaluations),
+    )

@@ -1,0 +1,90 @@
+"""Command-line entry point: regenerate any table/figure of the paper.
+
+Usage::
+
+    ghostwriter-figures table1
+    ghostwriter-figures fig8 --scale 0.25 --threads 8
+    ghostwriter-figures all
+
+``--scale`` shrinks the workload inputs (faster, noisier); ``--threads``
+shrinks the simulated machine.  Defaults reproduce the shapes reported
+in EXPERIMENTS.md.
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import figures as F
+
+__all__ = ["main"]
+
+_SWEEP_FIGS = ("fig7", "fig8", "fig9", "fig10", "fig11")
+_ALL = ("table1", "table2", "fig1", "fig2") + _SWEEP_FIGS + ("fig12",)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="ghostwriter-figures",
+        description="Regenerate the paper's tables and figures.",
+    )
+    p.add_argument("figure", choices=_ALL + ("all",),
+                   help="which table/figure to regenerate")
+    p.add_argument("--threads", type=int, default=F.DEFAULT_THREADS,
+                   help="simulated cores / workload threads")
+    p.add_argument("--scale", type=float, default=F.DEFAULT_SCALE,
+                   help="input-size scale factor")
+    p.add_argument("--seed", type=int, default=12345)
+    p.add_argument("--out", metavar="DIR", default=None,
+                   help="also export each figure as CSV + JSON under DIR")
+    p.add_argument("--protocol", choices=("mesi", "moesi"), default="mesi",
+                   help="baseline protocol for the sweep figures")
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments, run the requested figures, print/export them."""
+    args = _build_parser().parse_args(argv)
+    wanted = _ALL if args.figure == "all" else (args.figure,)
+    cache = F.SweepCache(num_threads=args.threads, scale=args.scale,
+                         seed=args.seed, protocol=args.protocol)
+    for name in wanted:
+        t0 = time.time()
+        if name == "table1":
+            result = F.table1()
+        elif name == "table2":
+            result = F.table2(args.threads)
+        elif name == "fig1":
+            counts = tuple(
+                t for t in (1, 2, 4, 8, 16, 24) if t <= args.threads
+            )
+            result = F.fig1(thread_counts=counts, seed=args.seed)
+        elif name == "fig2":
+            result = F.fig2(num_threads=args.threads, scale=args.scale,
+                            seed=args.seed)
+        elif name == "fig7":
+            result = F.fig7(cache)
+        elif name == "fig8":
+            result = F.fig8(cache)
+        elif name == "fig9":
+            result = F.fig9(cache)
+        elif name == "fig10":
+            result = F.fig10(cache)
+        elif name == "fig11":
+            result = F.fig11(cache)
+        elif name == "fig12":
+            result = F.fig12(num_threads=args.threads, seed=args.seed)
+        else:  # pragma: no cover - argparse restricts choices
+            raise AssertionError(name)
+        print(result.render())
+        if args.out is not None:
+            from repro.harness.export import export_result
+            paths = export_result(name, result, args.out)
+            print(f"[exported {', '.join(str(p) for p in paths)}]")
+        print(f"[{name}: {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

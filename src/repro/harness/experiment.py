@@ -1,0 +1,135 @@
+"""Experiment runner: one (workload, protocol-config) -> one result row.
+
+Defines the *experiment machine*: the paper's Table 1 machine with the
+cache capacities scaled down in proportion to our scaled-down inputs
+(DESIGN.md substitution 2).  The paper streams tens of megabytes through
+32 kB L1s; our inputs are ~100x smaller, so the experiment machine uses
+2 kB L1s / 8 kB L2 slices to preserve the stream-to-cache ratio that
+drives eviction pressure and bounds approximate-state lifetimes.  All
+other Table 1 parameters (cores, mesh, latencies, GI timeout) are kept.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.common.config import CacheConfig, SimConfig, default_config
+from repro.common.types import MessageClass
+from repro.energy.accounting import EnergyAccountant, EnergyReport
+from repro.workloads.base import WorkloadResult
+from repro.workloads.registry import create
+
+__all__ = ["experiment_config", "RunRow", "run_workload", "run_pair",
+           "DEFAULT_THREADS", "DEFAULT_SCALE"]
+
+DEFAULT_THREADS = 24
+DEFAULT_SCALE = 0.5
+
+
+def experiment_config(*, enabled: bool, d_distance: int = 4,
+                      gi_timeout: int = 1024,
+                      num_cores: int = DEFAULT_THREADS,
+                      protocol: str = "mesi") -> SimConfig:
+    """The scaled experiment machine (see module docstring)."""
+    # The experiment machine is the paper's Table 1 machine, unmodified:
+    # with the self-limiting scribble-fallback semantics the approximate
+    # dynamics do not depend on cache-capacity pressure, so no scaling of
+    # the hierarchy is needed despite the scaled-down inputs.
+    cfg = default_config().with_ghostwriter(
+        enabled=enabled, d_distance=d_distance, gi_timeout=gi_timeout,
+    )
+    return replace(cfg, num_cores=num_cores, protocol=protocol)
+
+
+@dataclass(frozen=True, slots=True)
+class RunRow:
+    """Everything the figure drivers need from one run."""
+
+    workload: str
+    d_distance: int           # 0 encodes "baseline MESI" (Fig. 8 x-axis)
+    cycles: int
+    error_pct: float
+    energy: EnergyReport
+    traffic: dict[MessageClass, int]
+    gs_serviced: int          # transitions into GS
+    gi_serviced: int          # transitions into GI
+    gs_store_hits: int        # store hits while in GS
+    gi_store_hits: int        # store hits while in GI
+    store_miss_on_s: int
+    store_miss_on_i: int
+    loads: int
+    stores: int
+    load_misses: int
+    store_misses: int
+
+    @property
+    def gs_serviced_pct(self) -> float:
+        """Fig. 7a: share of would-miss stores on S serviced by GS."""
+        num = self.gs_serviced + self.gs_store_hits
+        den = num + self.store_miss_on_s
+        return 100.0 * num / den if den else 0.0
+
+    @property
+    def gi_serviced_pct(self) -> float:
+        """Fig. 7b: share of would-miss stores on I serviced by GI."""
+        num = self.gi_serviced + self.gi_store_hits
+        den = num + self.store_miss_on_i
+        return 100.0 * num / den if den else 0.0
+
+    @property
+    def total_traffic(self) -> int:
+        """All coherence messages of the run."""
+        return sum(self.traffic.values())
+
+
+def _row_from_result(name: str, d_label: int, result: WorkloadResult,
+                     cfg: SimConfig) -> RunRow:
+    machine = result.machine
+    l1 = result.stats.child("l1")
+    energy = EnergyAccountant(cfg).report(machine)
+    return RunRow(
+        workload=name,
+        d_distance=d_label,
+        cycles=result.cycles,
+        error_pct=result.error_pct,
+        energy=energy,
+        traffic=machine.network.class_counts(),
+        gs_serviced=int(l1.total("gs_serviced")),
+        gi_serviced=int(l1.total("gi_serviced")),
+        gs_store_hits=int(l1.total("gs_store_hits")),
+        gi_store_hits=int(l1.total("gi_store_hits")),
+        store_miss_on_s=int(l1.total("store_miss_on_S")),
+        store_miss_on_i=int(l1.total("store_miss_on_I")),
+        loads=int(l1.total("loads")),
+        stores=int(l1.total("stores")),
+        load_misses=int(l1.total("load_misses")),
+        store_misses=int(l1.total("store_misses")),
+    )
+
+
+def run_workload(name: str, *, d_distance: int,
+                 num_threads: int = DEFAULT_THREADS,
+                 scale: float = DEFAULT_SCALE, seed: int = 12345,
+                 gi_timeout: int = 1024, protocol: str = "mesi",
+                 **workload_kwargs) -> RunRow:
+    """Run one workload once.  ``d_distance=0`` disables Ghostwriter."""
+    enabled = d_distance > 0
+    cfg = experiment_config(
+        enabled=enabled, d_distance=max(d_distance, 1),
+        gi_timeout=gi_timeout, num_cores=num_threads, protocol=protocol,
+    )
+    w = create(name, num_threads=num_threads, seed=seed, scale=scale,
+               **workload_kwargs)
+    result = w.run(cfg)
+    return _row_from_result(name, d_distance, result, cfg)
+
+
+def run_pair(name: str, *, d_distance: int,
+             num_threads: int = DEFAULT_THREADS,
+             scale: float = DEFAULT_SCALE, seed: int = 12345,
+             **kwargs) -> tuple[RunRow, RunRow]:
+    """(baseline, ghostwriter) rows for one workload and d setting."""
+    base = run_workload(name, d_distance=0, num_threads=num_threads,
+                        scale=scale, seed=seed, **kwargs)
+    gw = run_workload(name, d_distance=d_distance, num_threads=num_threads,
+                      scale=scale, seed=seed, **kwargs)
+    return base, gw

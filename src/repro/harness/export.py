@@ -1,0 +1,106 @@
+"""Tabular export of figure results (CSV + JSON).
+
+Each figure result is flattened into a list of records (one dict per
+plotted point/bar), so downstream plotting tools can regenerate the
+paper's graphics from files instead of re-running simulations.
+"""
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.harness import figures as F
+
+__all__ = ["records_for", "write_csv", "write_json", "export_result"]
+
+
+def records_for(name: str, result: Any) -> list[dict[str, Any]]:
+    """Flatten one figure/table result into row records."""
+    if name in ("table1", "table2"):
+        return [dict(zip(result.headers, row)) for row in result.rows]
+    if name == "fig1":
+        return [
+            {"threads": t, "naive_speedup": n, "private_speedup": p}
+            for t, n, p in zip(result.thread_counts, result.naive_speedup,
+                               result.private_speedup)
+        ]
+    if name == "fig2":
+        return [
+            {"app": app, "d": d, "cum_fraction": frac}
+            for app, prof in result.profiles.items()
+            for d, frac in prof.rows()
+        ]
+    if name == "fig7":
+        return [
+            {"app": app, "d": d, "gs_serviced_pct": result.gs_pct[(app, d)],
+             "gi_serviced_pct": result.gi_pct[(app, d)]}
+            for (app, d) in sorted(result.gs_pct)
+        ]
+    if name == "fig8":
+        return [
+            {"app": app, "d": d,
+             **{k.value: v for k, v in split.items()},
+             "total": result.total(app, d)}
+            for (app, d), split in sorted(result.normalized.items())
+        ]
+    if name == "fig9":
+        return [
+            {"app": app, "d": d,
+             "noc_saved_pct": result.noc_pct[(app, d)],
+             "memory_saved_pct": result.memory_pct[(app, d)],
+             "total_saved_pct": result.combined_pct[(app, d)]}
+            for (app, d) in sorted(result.noc_pct)
+        ]
+    if name == "fig10":
+        return [
+            {"app": app, "d": d, "speedup_pct": v}
+            for (app, d), v in sorted(result.speedup_pct.items())
+        ]
+    if name == "fig11":
+        return [
+            {"app": app, "d": d, "error_pct": v}
+            for (app, d), v in sorted(result.error_pct.items())
+        ]
+    if name == "fig12":
+        return [
+            {"timeout_cycles": t, "gi_serviced_pct": g, "error_mpe_pct": e}
+            for t, g, e in zip(result.timeouts, result.gi_serviced_pct,
+                               result.error_pct)
+        ]
+    raise KeyError(f"no exporter for {name!r}")
+
+
+def write_csv(records: list[dict[str, Any]], path: Path) -> None:
+    """Write records as CSV (union of keys as the header)."""
+    if not records:
+        raise ValueError("nothing to export")
+    fields: list[str] = []
+    for rec in records:
+        for key in rec:
+            if key not in fields:
+                fields.append(key)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields)
+        writer.writeheader()
+        writer.writerows(records)
+
+
+def write_json(records: list[dict[str, Any]], path: Path) -> None:
+    """Write records as a JSON array."""
+    with open(path, "w") as fh:
+        json.dump(records, fh, indent=2, default=str)
+        fh.write("\n")
+
+
+def export_result(name: str, result: Any, out_dir: str | Path) -> list[Path]:
+    """Write ``<name>.csv`` and ``<name>.json`` under ``out_dir``."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    records = records_for(name, result)
+    csv_path = out / f"{name}.csv"
+    json_path = out / f"{name}.json"
+    write_csv(records, csv_path)
+    write_json(records, json_path)
+    return [csv_path, json_path]

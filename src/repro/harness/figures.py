@@ -1,0 +1,448 @@
+"""Per-figure experiment drivers.
+
+One driver per table/figure of the paper (see DESIGN.md §4).  Each
+returns a small result object with the figure's rows/series plus a
+``render()`` producing the text table the benchmarks and the CLI print.
+Figures 7-11 share one underlying sweep (six apps x d in {0, 4, 8}),
+which :class:`SweepCache` memoizes so regenerating all figures costs 18
+runs, not 90.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.ddistance import SimilarityProfile, machine_store_histogram
+from repro.common.config import default_config, table1_rows
+from repro.common.types import MessageClass
+from repro.harness.experiment import (
+    DEFAULT_SCALE, DEFAULT_THREADS, RunRow, experiment_config, run_workload,
+)
+from repro.workloads.base import WorkloadResult
+from repro.workloads.registry import PAPER_WORKLOADS, create, table2_rows
+
+__all__ = [
+    "SweepCache", "fig1", "fig2", "fig7", "fig8", "fig9", "fig10",
+    "fig11", "fig12", "table1", "table2",
+]
+
+_APPS = list(PAPER_WORKLOADS)
+_D_SWEEP = (0, 4, 8)
+_SHORT = {
+    "histogram": "hist", "linear_regression": "linreg", "pca": "pca",
+    "blackscholes": "blksch", "inversek2j": "invk2j", "jpeg": "jpeg",
+}
+
+
+def _fmt_table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)
+
+
+class SweepCache:
+    """Memoized (app, d) -> RunRow over the main evaluation sweep."""
+
+    def __init__(self, num_threads: int = DEFAULT_THREADS,
+                 scale: float = DEFAULT_SCALE, seed: int = 12345,
+                 protocol: str = "mesi") -> None:
+        self.num_threads = num_threads
+        self.scale = scale
+        self.seed = seed
+        self.protocol = protocol
+        self._rows: dict[tuple[str, int], RunRow] = {}
+
+    def row(self, app: str, d: int) -> RunRow:
+        """Memoized run of (app, d); ``d=0`` is baseline MESI."""
+        key = (app, d)
+        if key not in self._rows:
+            self._rows[key] = run_workload(
+                app, d_distance=d, num_threads=self.num_threads,
+                scale=self.scale, seed=self.seed, protocol=self.protocol,
+            )
+        return self._rows[key]
+
+    def prefetch(self, apps=None, ds=_D_SWEEP) -> None:
+        """Run (and cache) the full sweep up front."""
+        for app in apps or _APPS:
+            for d in ds:
+                self.row(app, d)
+
+
+# ---------------------------------------------------------------------
+# Table 1 / Table 2
+# ---------------------------------------------------------------------
+@dataclass(slots=True)
+class TableResult:
+    title: str
+    headers: list[str]
+    rows: list[list[str]]
+
+    def render(self) -> str:
+        """The figure as an aligned text table."""
+        return f"{self.title}\n{_fmt_table(self.headers, self.rows)}"
+
+
+def table1() -> TableResult:
+    """Regenerate Table 1 from the default configuration."""
+    rows = [[k, v] for k, v in table1_rows(default_config())]
+    return TableResult("Table 1: Simulation Configuration",
+                       ["Parameter", "Values"], rows)
+
+
+def table2(num_threads: int = DEFAULT_THREADS) -> TableResult:
+    """Regenerate Table 2 from the workload registry."""
+    rows = [list(r) for r in table2_rows(num_threads)]
+    return TableResult("Table 2: Benchmarks",
+                       ["Application", "Domain", "Input", "Error"], rows)
+
+
+# ---------------------------------------------------------------------
+# Fig. 1 — false-sharing dot-product thread sweep (baseline MESI)
+# ---------------------------------------------------------------------
+@dataclass(slots=True)
+class Fig1Result:
+    thread_counts: list[int]
+    naive_speedup: list[float]     # vs 1 thread, Listing 1
+    private_speedup: list[float]   # vs 1 thread, Listing 2
+
+    def render(self) -> str:
+        """The figure as an aligned text table."""
+        rows = [
+            [str(t), f"{n:.2f}x", f"{p:.2f}x"]
+            for t, n, p in zip(self.thread_counts, self.naive_speedup,
+                               self.private_speedup)
+        ]
+        return ("Fig. 1: dot-product speedup vs threads (baseline MESI)\n"
+                + _fmt_table(["threads", "naive (Listing 1)",
+                              "privatized (Listing 2)"], rows))
+
+
+def fig1(thread_counts=(1, 2, 4, 8, 16, 24), n_points: int = 4096,
+         seed: int = 12345) -> Fig1Result:
+    """Run the Listing-1/Listing-2 thread sweep on baseline MESI."""
+    def cycles(name: str, threads: int) -> int:
+        cfg = experiment_config(enabled=False, num_cores=max(threads, 1))
+        w = create(name, num_threads=threads, seed=seed, n_points=n_points,
+                   approximate=False) if name == "bad_dot_product" else \
+            create(name, num_threads=threads, seed=seed, n_points=n_points)
+        return w.run(cfg).cycles
+
+    naive, private = [], []
+    base_naive = base_private = None
+    for t in thread_counts:
+        cn = cycles("bad_dot_product", t)
+        cp = cycles("private_dot_product", t)
+        if t == thread_counts[0]:
+            base_naive, base_private = cn, cp
+        naive.append(base_naive / cn)
+        private.append(base_private / cp)
+    return Fig1Result(list(thread_counts), naive, private)
+
+
+# ---------------------------------------------------------------------
+# Fig. 2 — store-value d-distance CDFs per suite
+# ---------------------------------------------------------------------
+@dataclass(slots=True)
+class Fig2Result:
+    profiles: dict[str, SimilarityProfile]   # app -> curve
+    suites: dict[str, list[str]]             # suite -> apps
+
+    def render(self) -> str:
+        """The figure as an aligned text table."""
+        ds = [0, 2, 4, 8, 12, 16, 24, 32]
+        rows = []
+        for app, prof in self.profiles.items():
+            rows.append([_SHORT.get(app, app)]
+                        + [f"{prof.fraction_within(d) * 100:5.1f}%" for d in ds])
+        return ("Fig. 2: cumulative d-distance distribution of stores\n"
+                + _fmt_table(["app"] + [f"<= {d}" for d in ds], rows))
+
+    def suite_average_within(self, suite: str, d: int) -> float:
+        """Mean P(<= d) across the suite's apps."""
+        apps = self.suites[suite]
+        return float(np.mean([
+            self.profiles[a].fraction_within(d) for a in apps
+        ]))
+
+
+def fig2(num_threads: int = DEFAULT_THREADS, scale: float = DEFAULT_SCALE,
+         seed: int = 12345) -> Fig2Result:
+    """Profile store-value similarity over every Table 2 app."""
+    profiles: dict[str, SimilarityProfile] = {}
+    suites: dict[str, list[str]] = {}
+    cfg = experiment_config(enabled=False, num_cores=num_threads)
+    for app, cls in PAPER_WORKLOADS.items():
+        w = create(app, num_threads=num_threads, scale=scale, seed=seed)
+        result: WorkloadResult = w.run(cfg)
+        hist = machine_store_histogram(result.machine)
+        profiles[app] = SimilarityProfile(app, hist)
+        suites.setdefault(w.suite, []).append(app)
+    return Fig2Result(profiles, suites)
+
+
+# ---------------------------------------------------------------------
+# Fig. 7 — approximate-state utilization
+# ---------------------------------------------------------------------
+@dataclass(slots=True)
+class Fig7Result:
+    gs_pct: dict[tuple[str, int], float]   # (app, d) -> %
+    gi_pct: dict[tuple[str, int], float]
+
+    def render(self) -> str:
+        """The figure as an aligned text table."""
+        rows = []
+        for app in _APPS:
+            rows.append([
+                _SHORT[app],
+                f"{self.gs_pct[(app, 4)]:5.1f}", f"{self.gs_pct[(app, 8)]:5.1f}",
+                f"{self.gi_pct[(app, 4)]:5.1f}", f"{self.gi_pct[(app, 8)]:5.1f}",
+            ])
+        rows.append([
+            "Avg.",
+            f"{np.mean([self.gs_pct[(a, 4)] for a in _APPS]):5.1f}",
+            f"{np.mean([self.gs_pct[(a, 8)] for a in _APPS]):5.1f}",
+            f"{np.mean([self.gi_pct[(a, 4)] for a in _APPS]):5.1f}",
+            f"{np.mean([self.gi_pct[(a, 8)] for a in _APPS]):5.1f}",
+        ])
+        return ("Fig. 7: % of would-miss stores serviced by GS (a) / GI (b)\n"
+                + _fmt_table(
+                    ["app", "GS d=4", "GS d=8", "GI d=4", "GI d=8"], rows))
+
+
+def fig7(cache: SweepCache) -> Fig7Result:
+    """Approximate-state utilization from the main sweep."""
+    gs, gi = {}, {}
+    for app in _APPS:
+        for d in (4, 8):
+            row = cache.row(app, d)
+            gs[(app, d)] = row.gs_serviced_pct
+            gi[(app, d)] = row.gi_serviced_pct
+    return Fig7Result(gs, gi)
+
+
+# ---------------------------------------------------------------------
+# Fig. 8 — normalized coherence traffic breakdown
+# ---------------------------------------------------------------------
+_FIG8_CLASSES = [MessageClass.OTHER, MessageClass.DATA, MessageClass.GETS,
+                 MessageClass.UPGRADE, MessageClass.GETX]
+
+
+@dataclass(slots=True)
+class Fig8Result:
+    #: (app, d) -> {class: messages normalized to the app's d=0 total}
+    normalized: dict[tuple[str, int], dict[MessageClass, float]]
+
+    def total(self, app: str, d: int) -> float:
+        """Normalized total traffic of one bar."""
+        return sum(self.normalized[(app, d)].values())
+
+    def reduction_pct(self, app: str, d: int) -> float:
+        """Traffic reduction vs the app's baseline, percent."""
+        return (1.0 - self.total(app, d)) * 100.0
+
+    def average_reduction_pct(self, d: int) -> float:
+        """Mean reduction across apps at one d."""
+        return float(np.mean([self.reduction_pct(a, d) for a in _APPS]))
+
+    def render(self) -> str:
+        """The figure as an aligned text table."""
+        rows = []
+        for app in _APPS:
+            for d in _D_SWEEP:
+                split = self.normalized[(app, d)]
+                rows.append(
+                    [_SHORT[app], str(d)]
+                    + [f"{split[k]:.3f}" for k in _FIG8_CLASSES]
+                    + [f"{self.total(app, d):.3f}"]
+                )
+        return ("Fig. 8: normalized coherence traffic (per app, d=0 is "
+                "baseline MESI)\n"
+                + _fmt_table(
+                    ["app", "d"] + [k.value for k in _FIG8_CLASSES]
+                    + ["total"], rows))
+
+
+def fig8(cache: SweepCache) -> Fig8Result:
+    """Per-class traffic, normalized to each app's baseline."""
+    normalized = {}
+    for app in _APPS:
+        base_total = sum(cache.row(app, 0).traffic.values())
+        for d in _D_SWEEP:
+            traffic = cache.row(app, d).traffic
+            normalized[(app, d)] = {
+                k: traffic.get(k, 0) / base_total for k in _FIG8_CLASSES
+            }
+    return Fig8Result(normalized)
+
+
+# ---------------------------------------------------------------------
+# Fig. 9 — dynamic energy savings (NoC + memory hierarchy)
+# ---------------------------------------------------------------------
+@dataclass(slots=True)
+class Fig9Result:
+    noc_pct: dict[tuple[str, int], float]
+    memory_pct: dict[tuple[str, int], float]
+    combined_pct: dict[tuple[str, int], float]
+
+    def average_combined(self, d: int) -> float:
+        """Mean total savings across apps at one d."""
+        return float(np.mean([self.combined_pct[(a, d)] for a in _APPS]))
+
+    def render(self) -> str:
+        """The figure as an aligned text table."""
+        rows = []
+        for app in _APPS:
+            rows.append([_SHORT[app]] + [
+                f"{self.noc_pct[(app, d)]:6.2f}" for d in (4, 8)
+            ] + [
+                f"{self.memory_pct[(app, d)]:6.2f}" for d in (4, 8)
+            ] + [
+                f"{self.combined_pct[(app, d)]:6.2f}" for d in (4, 8)
+            ])
+        rows.append(["Avg."] + [
+            f"{np.mean([self.noc_pct[(a, d)] for a in _APPS]):6.2f}"
+            for d in (4, 8)
+        ] + [
+            f"{np.mean([self.memory_pct[(a, d)] for a in _APPS]):6.2f}"
+            for d in (4, 8)
+        ] + [
+            f"{self.average_combined(d):6.2f}" for d in (4, 8)
+        ])
+        return ("Fig. 9: dynamic energy saved (%) vs baseline MESI\n"
+                + _fmt_table(
+                    ["app", "NoC d=4", "NoC d=8", "Mem d=4", "Mem d=8",
+                     "Total d=4", "Total d=8"], rows))
+
+
+def fig9(cache: SweepCache) -> Fig9Result:
+    """Dynamic-energy savings vs the baseline runs."""
+    noc, mem, comb = {}, {}, {}
+    for app in _APPS:
+        base = cache.row(app, 0).energy
+        for d in (4, 8):
+            sav = cache.row(app, d).energy.savings_vs(base)
+            noc[(app, d)] = sav.noc_pct
+            mem[(app, d)] = sav.memory_pct
+            comb[(app, d)] = sav.total_pct
+    return Fig9Result(noc, mem, comb)
+
+
+# ---------------------------------------------------------------------
+# Fig. 10 — speedup
+# ---------------------------------------------------------------------
+@dataclass(slots=True)
+class Fig10Result:
+    speedup_pct: dict[tuple[str, int], float]
+
+    def average(self, d: int) -> float:
+        """Mean speedup across apps at one d."""
+        return float(np.mean([self.speedup_pct[(a, d)] for a in _APPS]))
+
+    def maximum(self, d: int) -> float:
+        """Best per-app speedup at one d."""
+        return max(self.speedup_pct[(a, d)] for a in _APPS)
+
+    def render(self) -> str:
+        """The figure as an aligned text table."""
+        rows = [
+            [_SHORT[a], f"{self.speedup_pct[(a, 4)]:6.2f}",
+             f"{self.speedup_pct[(a, 8)]:6.2f}"]
+            for a in _APPS
+        ]
+        rows.append(["Avg.", f"{self.average(4):6.2f}",
+                     f"{self.average(8):6.2f}"])
+        return ("Fig. 10: speedup (%) vs baseline MESI\n"
+                + _fmt_table(["app", "d=4", "d=8"], rows))
+
+
+def fig10(cache: SweepCache) -> Fig10Result:
+    """Speedup vs the baseline runs."""
+    speedup = {}
+    for app in _APPS:
+        base_cycles = cache.row(app, 0).cycles
+        for d in (4, 8):
+            speedup[(app, d)] = (
+                base_cycles / cache.row(app, d).cycles - 1.0
+            ) * 100.0
+    return Fig10Result(speedup)
+
+
+# ---------------------------------------------------------------------
+# Fig. 11 — output error
+# ---------------------------------------------------------------------
+@dataclass(slots=True)
+class Fig11Result:
+    error_pct: dict[tuple[str, int], float]
+    baseline_error_pct: dict[str, float]
+
+    def average(self, d: int) -> float:
+        """Mean output error across apps at one d."""
+        return float(np.mean([self.error_pct[(a, d)] for a in _APPS]))
+
+    def render(self) -> str:
+        """The figure as an aligned text table."""
+        rows = [
+            [_SHORT[a], f"{self.error_pct[(a, 4)]:9.4f}",
+             f"{self.error_pct[(a, 8)]:9.4f}"]
+            for a in _APPS
+        ]
+        rows.append(["Avg.", f"{self.average(4):9.4f}",
+                     f"{self.average(8):9.4f}"])
+        return ("Fig. 11: output error (%) under Ghostwriter\n"
+                + _fmt_table(["app", "d=4", "d=8"], rows))
+
+
+def fig11(cache: SweepCache) -> Fig11Result:
+    """Output error of the Ghostwriter runs."""
+    err, base = {}, {}
+    for app in _APPS:
+        base[app] = cache.row(app, 0).error_pct
+        for d in (4, 8):
+            err[(app, d)] = cache.row(app, d).error_pct
+    return Fig11Result(err, base)
+
+
+# ---------------------------------------------------------------------
+# Fig. 12 — GI timeout sensitivity on the microbenchmark
+# ---------------------------------------------------------------------
+@dataclass(slots=True)
+class Fig12Result:
+    timeouts: list[int]
+    gi_serviced_pct: list[float]
+    error_pct: list[float]
+
+    def render(self) -> str:
+        """The figure as an aligned text table."""
+        rows = [
+            [str(t), f"{g:6.1f}", f"{e:8.2f}"]
+            for t, g, e in zip(self.timeouts, self.gi_serviced_pct,
+                               self.error_pct)
+        ]
+        return ("Fig. 12: GI timeout sensitivity "
+                "(bad_dot_product, 4-distance)\n"
+                + _fmt_table(
+                    ["timeout (cycles)", "serviced by GI (%)",
+                     "output error MPE (%)"], rows))
+
+
+def fig12(timeouts=(128, 512, 1024), num_threads: int = DEFAULT_THREADS,
+          n_points: int = 4096, seed: int = 12345) -> Fig12Result:
+    """GI-timeout sensitivity sweep on the Listing-1 microbenchmark."""
+    gi_pct, err = [], []
+    for timeout in timeouts:
+        row = run_workload(
+            "bad_dot_product", d_distance=4, num_threads=num_threads,
+            seed=seed, gi_timeout=timeout, n_points=n_points, max_value=3,
+        )
+        gi_pct.append(row.gi_serviced_pct)
+        err.append(row.error_pct)
+    return Fig12Result(list(timeouts), gi_pct, err)
+

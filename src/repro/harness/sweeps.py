@@ -1,0 +1,92 @@
+"""Parameterized sweep helpers.
+
+Library-level building blocks for sensitivity studies beyond the fixed
+figure set: sweep thread counts, d-distances, or GI timeouts over any
+registered workload and get back aligned result rows.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.harness.experiment import (
+    DEFAULT_SCALE, DEFAULT_THREADS, RunRow, run_workload,
+)
+
+__all__ = ["SweepResult", "sweep_d_distance", "sweep_threads",
+           "sweep_gi_timeout"]
+
+
+@dataclass(frozen=True, slots=True)
+class SweepResult:
+    """Rows of a 1-D sweep, aligned with its parameter values."""
+
+    parameter: str
+    values: tuple
+    rows: tuple[RunRow, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.rows):
+            raise ValueError("values/rows length mismatch")
+
+    def series(self, attr: str) -> list[float]:
+        """Extract one column, e.g. ``series('cycles')``."""
+        return [float(getattr(r, attr)) for r in self.rows]
+
+    def speedups_vs_first(self) -> list[float]:
+        """Cycle-count speedup of each point relative to the first."""
+        base = self.rows[0].cycles
+        return [base / r.cycles for r in self.rows]
+
+    def render(self) -> str:
+        """One-line-per-point text summary."""
+        lines = [f"sweep over {self.parameter}"]
+        for v, r in zip(self.values, self.rows):
+            lines.append(
+                f"  {self.parameter}={v!r:>6}: cycles={r.cycles:>9} "
+                f"error={r.error_pct:8.3f}% GS%={r.gs_serviced_pct:5.1f} "
+                f"GI%={r.gi_serviced_pct:5.1f}"
+            )
+        return "\n".join(lines)
+
+
+def sweep_d_distance(workload: str, d_values: Sequence[int] = (0, 2, 4, 8, 16),
+                     *, num_threads: int = DEFAULT_THREADS,
+                     scale: float = DEFAULT_SCALE, seed: int = 12345,
+                     **kwargs) -> SweepResult:
+    """Accuracy/benefit trade-off curve over the d-distance knob
+    (``d=0`` runs baseline MESI)."""
+    rows = tuple(
+        run_workload(workload, d_distance=d, num_threads=num_threads,
+                     scale=scale, seed=seed, **kwargs)
+        for d in d_values
+    )
+    return SweepResult("d_distance", tuple(d_values), rows)
+
+
+def sweep_threads(workload: str, thread_counts: Sequence[int] = (1, 2, 4, 8),
+                  *, d_distance: int = 0, scale: float = DEFAULT_SCALE,
+                  seed: int = 12345, **kwargs) -> SweepResult:
+    """Scalability curve (the Fig. 1 methodology, for any workload)."""
+    rows = tuple(
+        run_workload(workload, d_distance=d_distance, num_threads=t,
+                     scale=scale, seed=seed, **kwargs)
+        for t in thread_counts
+    )
+    return SweepResult("threads", tuple(thread_counts), rows)
+
+
+def sweep_gi_timeout(workload: str,
+                     timeouts: Sequence[int] = (128, 512, 1024),
+                     *, d_distance: int = 4,
+                     num_threads: int = DEFAULT_THREADS,
+                     scale: float = DEFAULT_SCALE, seed: int = 12345,
+                     **kwargs) -> SweepResult:
+    """The Fig. 12 methodology, for any workload."""
+    rows = tuple(
+        run_workload(workload, d_distance=d_distance, gi_timeout=t,
+                     num_threads=num_threads, scale=scale, seed=seed,
+                     **kwargs)
+        for t in timeouts
+    )
+    return SweepResult("gi_timeout", tuple(timeouts), rows)

@@ -1,0 +1,70 @@
+"""Per-core approximate-region tracking (the compiler's job in the paper).
+
+The paper's compiler turns conventional stores inside ``approx_begin`` /
+``approx_end`` regions into scribbles for the annotated data structures.
+We model that with a per-core :class:`ApproxManager`: thread programs
+issue plain ``Store`` ops, and the core consults the manager to decide
+whether the store should execute as a scribble.
+
+A one-entry range cache keeps the common case (tight loops over one
+array) O(1).
+"""
+from __future__ import annotations
+
+__all__ = ["ApproxManager"]
+
+
+class ApproxManager:
+    """Set of byte ranges whose stores are approximate, with enable flag."""
+
+    __slots__ = ("_ranges", "enabled", "_hot")
+
+    def __init__(self) -> None:
+        self._ranges: list[tuple[int, int]] = []
+        self.enabled = False
+        self._hot: tuple[int, int] | None = None
+
+    def begin(self, ranges: tuple[tuple[int, int], ...]) -> None:
+        """``approx_begin``: add ranges and enable conversion."""
+        for start, end in ranges:
+            if end <= start:
+                raise ValueError(f"empty approximate range [{start:#x},{end:#x})")
+            self._ranges.append((start, end))
+        self.enabled = True
+        self._hot = None
+
+    def end(self, ranges: tuple[tuple[int, int], ...]) -> None:
+        """``approx_end``: remove ranges; disables when none remain."""
+        for rng in ranges:
+            try:
+                self._ranges.remove(rng)
+            except ValueError:
+                raise ValueError(
+                    f"approx_end of unannotated range {rng}"
+                ) from None
+        if not self._ranges:
+            self.enabled = False
+        self._hot = None
+
+    def clear(self) -> None:
+        """Drop all ranges and disable."""
+        self._ranges.clear()
+        self.enabled = False
+        self._hot = None
+
+    def is_approx(self, addr: int) -> bool:
+        """Should a store to ``addr`` execute as a scribble?"""
+        if not self.enabled:
+            return False
+        hot = self._hot
+        if hot is not None and hot[0] <= addr < hot[1]:
+            return True
+        for rng in self._ranges:
+            if rng[0] <= addr < rng[1]:
+                self._hot = rng
+                return True
+        return False
+
+    def active_ranges(self) -> list[tuple[int, int]]:
+        """Copy of the currently annotated ranges."""
+        return list(self._ranges)

@@ -1,0 +1,109 @@
+"""Network-on-chip transport: delivery scheduling + traffic accounting.
+
+Latency model (documented in DESIGN.md): a message from ``src`` to ``dst``
+takes ``hops * (router_latency + link_latency)`` plus a serialization term
+of ``flits - 1`` cycles.  There is no contention/VC arbitration model; the
+paper's first-order effect — fewer coherence transactions means less
+traffic, energy and stall time — is carried entirely by message counts and
+hop-weighted flit counts, which we account exactly per
+:class:`~repro.common.types.MessageClass` for Fig. 8 and the DSENT-style
+energy model (Fig. 9).
+"""
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.config import NocConfig
+from repro.common.stats import StatGroup
+from repro.common.types import MessageClass
+from repro.coherence.messages import Message
+from repro.noc.topology import route_routers
+from repro.sim.engine import Engine
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Routes :class:`Message` objects between registered endpoints."""
+
+    __slots__ = ("cfg", "engine", "stats", "block_bytes", "_endpoints",
+                 "_class_counts")
+
+    def __init__(self, cfg: NocConfig, engine: Engine, block_bytes: int,
+                 stats: StatGroup | None = None) -> None:
+        self.cfg = cfg
+        self.engine = engine
+        self.block_bytes = block_bytes
+        self.stats = stats if stats is not None else StatGroup("noc")
+        self._endpoints: dict[int, Callable[[Message], None]] = {}
+        # eagerly materialize the Fig. 8 class counters
+        self._class_counts = {klass: 0 for klass in MessageClass}
+
+    def register(self, node: int, handler: Callable[[Message], None]) -> None:
+        """Bind the message handler for a mesh node (one per node)."""
+        if not 0 <= node < self.cfg.num_nodes:
+            raise ValueError(f"node {node} outside mesh")
+        if node in self._endpoints:
+            raise ValueError(f"node {node} already registered")
+        self._endpoints[node] = handler
+
+    # -- transport -------------------------------------------------------
+    def send(self, msg: Message, extra_delay: int = 0) -> None:
+        """Account and deliver ``msg`` after its modeled latency.
+
+        ``extra_delay`` lets a sender fold local processing time (e.g. an
+        L2 array access) into the same scheduling step.
+        """
+        handler = self._endpoints.get(msg.dst)
+        if handler is None:
+            raise ValueError(f"no endpoint registered at node {msg.dst}")
+        payload = msg.payload_bytes(self.block_bytes, self.cfg.control_msg_bytes)
+        latency = self.cfg.message_latency(msg.src, msg.dst, payload)
+        self._account(msg, payload)
+        self.engine.schedule(latency + extra_delay, lambda: handler(msg))
+
+    def account_transfer(
+        self, src: int, dst: int, data: bool,
+        klass: MessageClass = MessageClass.OTHER,
+    ) -> int:
+        """Account an internal transfer (e.g. directory <-> L2 slice) and
+        return its latency, without delivering a message object.  Used for
+        hops the home agent orchestrates directly."""
+        payload = (
+            self.block_bytes + self.cfg.control_msg_bytes
+            if data
+            else self.cfg.control_msg_bytes
+        )
+        self._class_counts[klass] += 1
+        flits = self.cfg.flits(payload)
+        links = self.cfg.hops(src, dst)
+        st = self.stats
+        st.messages += 1
+        st.flits += flits
+        st.flit_hops += flits * links
+        st.router_traversals += flits * route_routers(self.cfg, src, dst)
+        st.payload_bytes += payload
+        return self.cfg.message_latency(src, dst, payload)
+
+    def _account(self, msg: Message, payload: int) -> None:
+        klass = msg.mtype.klass
+        self._class_counts[klass] += 1
+        flits = self.cfg.flits(payload)
+        routers = route_routers(self.cfg, msg.src, msg.dst)
+        links = self.cfg.hops(msg.src, msg.dst)
+        st = self.stats
+        st.messages += 1
+        st.flits += flits
+        st.flit_hops += flits * links
+        st.router_traversals += flits * routers
+        st.payload_bytes += payload
+
+    # -- reporting ---------------------------------------------------------
+    def class_counts(self) -> dict[MessageClass, int]:
+        """Per-class message counts (the Fig. 8 breakdown)."""
+        return dict(self._class_counts)
+
+    def finalize_stats(self) -> None:
+        """Copy class counts into the stats tree for flattening."""
+        for klass, n in self._class_counts.items():
+            setattr(self.stats, f"msgs_{klass.value}", n)

@@ -1,0 +1,52 @@
+"""Mesh topology helpers: coordinates, XY routing paths, distances.
+
+The latency/flit arithmetic lives on :class:`repro.common.config.NocConfig`;
+this module adds the route *enumeration* used by per-router traffic and
+energy accounting (each traversed router matters for DSENT-style energy,
+not just the hop count).
+"""
+from __future__ import annotations
+
+from repro.common.config import NocConfig
+
+__all__ = ["xy_route", "route_routers", "validate_topology"]
+
+
+def xy_route(cfg: NocConfig, src: int, dst: int) -> list[int]:
+    """Node ids visited by dimension-ordered (X then Y) routing, inclusive
+    of both endpoints."""
+    sx, sy = cfg.coords(src)
+    dx, dy = cfg.coords(dst)
+    path = [src]
+    x, y = sx, sy
+    step = 1 if dx > x else -1
+    while x != dx:
+        x += step
+        path.append(y * cfg.mesh_cols + x)
+    step = 1 if dy > y else -1
+    while y != dy:
+        y += step
+        path.append(y * cfg.mesh_cols + x)
+    return path
+
+
+def route_routers(cfg: NocConfig, src: int, dst: int) -> int:
+    """Number of router traversals for a message (includes injection
+    router; a local message still crosses its own router once)."""
+    return len(xy_route(cfg, src, dst))
+
+
+def validate_topology(cfg: NocConfig) -> None:
+    """Sanity checks used by tests: XY routes are minimal and connected."""
+    for src in range(cfg.num_nodes):
+        for dst in range(cfg.num_nodes):
+            path = xy_route(cfg, src, dst)
+            if len(path) - 1 != cfg.hops(src, dst):
+                raise AssertionError(
+                    f"non-minimal route {src}->{dst}: {path}"
+                )
+            for a, b in zip(path, path[1:]):
+                ax, ay = cfg.coords(a)
+                bx, by = cfg.coords(b)
+                if abs(ax - bx) + abs(ay - by) != 1:
+                    raise AssertionError(f"route {src}->{dst} jumps {a}->{b}")

@@ -1,0 +1,74 @@
+"""The scribe comparator module of the modified cache controller (Fig. 6).
+
+In hardware this is a bank of XNOR equality comparators sitting beside the
+data RAM: on a scribble, the incoming write word (W) is compared against
+the resident block word (B) under the currently-programmed d-distance, and
+the ``approx`` signal enables the approximate coherence transitions.  The
+module is (re)programmed by the ``setaprx`` instruction and disabled by
+``endaprx``.
+
+We model it as a small stateful object owned by each L1 controller.  It
+also keeps the instrumentation the evaluation needs: a histogram of
+observed store d-distances (Fig. 2) and pass/fail counts.
+"""
+from __future__ import annotations
+
+from repro.common.stats import StatGroup
+from repro.common.types import WORD_BITS
+from repro.scribe.similarity import d_distance, is_similar, is_similar_arithmetic
+
+__all__ = ["ScribeUnit"]
+
+
+class ScribeUnit:
+    """Per-L1 comparator state + instrumentation."""
+
+    __slots__ = ("d_distance", "enabled", "mode", "stats", "_hist")
+
+    def __init__(self, d_distance: int = 0, enabled: bool = False,
+                 stats: StatGroup | None = None,
+                 mode: str = "bitwise") -> None:
+        if not 0 <= d_distance <= WORD_BITS:
+            raise ValueError(f"d-distance out of range: {d_distance}")
+        if mode not in ("bitwise", "arithmetic"):
+            raise ValueError(f"unknown similarity mode {mode!r}")
+        self.d_distance = d_distance
+        self.enabled = enabled
+        self.mode = mode
+        self.stats = stats if stats is not None else StatGroup("scribe")
+        self._hist = self.stats.histogram("store_d_distance")
+
+    # -- setaprx / endaprx --------------------------------------------
+    def program(self, d: int) -> None:
+        """``setaprx d`` — reprogram the comparator and enable it."""
+        if not 0 <= d <= WORD_BITS:
+            raise ValueError(f"d-distance out of range: {d}")
+        self.d_distance = d
+        self.enabled = True
+        self.stats.reprograms += 1
+
+    def disable(self) -> None:
+        """``endaprx`` — disable approximate transitions."""
+        self.enabled = False
+
+    # -- per-store checks ---------------------------------------------
+    def observe(self, write_word: int, block_word: int) -> None:
+        """Record a store's d-distance for Fig. 2 value-similarity profiling
+        ("irrespective of coherence state")."""
+        self._hist.add(d_distance(write_word, block_word))
+
+    def check(self, write_word: int, block_word: int) -> bool:
+        """The ``approx`` output signal: True when the scribble may be
+        serviced approximately under the programmed d-distance."""
+        if not self.enabled:
+            return False
+        if self.mode == "arithmetic":
+            ok = is_similar_arithmetic(write_word, block_word,
+                                       self.d_distance)
+        else:
+            ok = is_similar(write_word, block_word, self.d_distance)
+        if ok:
+            self.stats.passes += 1
+        else:
+            self.stats.fails += 1
+        return ok

@@ -1,0 +1,122 @@
+"""Bit-wise value similarity (d-distance).
+
+The paper (§2) quantifies similarity with *d-distance* [Wong et al.,
+HPCA'16]: two values are *d-distance similar* when they are identical in
+all bits above the ``d`` least-significant bits — equivalently, when
+``x ^ y < 2**d``.  The minimal d-distance of a pair is therefore the bit
+length of their XOR.
+
+Both scalar (hot simulator path) and vectorized-numpy (trace analysis,
+Fig. 2) forms are provided.  All functions operate on 32-bit *bit
+patterns*; floats must be converted with :func:`float_to_bits` first, so
+the hardware XNOR-comparator semantics of the paper's scribe unit are
+preserved exactly (e.g. -1 vs 0 is 32-distance even though arithmetically
+close — §3.4 discusses exactly this limitation).
+"""
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.common.types import WORD_BITS, WORD_MASK
+
+__all__ = [
+    "d_distance",
+    "is_similar",
+    "is_similar_arithmetic",
+    "d_distance_array",
+    "similarity_cdf",
+    "float_to_bits",
+    "bits_to_float",
+    "int_to_bits",
+    "bits_to_int",
+]
+
+
+def d_distance(a: int, b: int) -> int:
+    """Minimal d such that ``a`` and ``b`` are d-distance similar.
+
+    0 means bit-identical (a silent store); 32 means the values differ in
+    the most significant bit.
+    """
+    return ((a ^ b) & WORD_MASK).bit_length()
+
+
+def is_similar(a: int, b: int, d: int) -> bool:
+    """True when ``a`` and ``b`` differ only in the ``d`` low bits.
+
+    This is the check the paper's scribe comparator performs (Fig. 6):
+    the upper ``32 - d`` bits must match exactly.
+    """
+    if not 0 <= d <= WORD_BITS:
+        raise ValueError(f"d-distance must be in [0, {WORD_BITS}], got {d}")
+    if d == WORD_BITS:
+        return True
+    return ((a ^ b) & WORD_MASK) >> d == 0
+
+
+def is_similar_arithmetic(a: int, b: int, d: int) -> bool:
+    """Arithmetic-distance similarity: |a - b| < 2**d on signed values.
+
+    The paper's §3.4 notes that bit-wise d-distance misclassifies pairs
+    like -1/0 (arithmetically adjacent, 32-distance apart) and leaves
+    richer comparators as future work; this is that comparator.
+    """
+    if not 0 <= d <= WORD_BITS:
+        raise ValueError(f"d-distance must be in [0, {WORD_BITS}], got {d}")
+    if d == WORD_BITS:
+        return True
+    sa = bits_to_int(a)
+    sb = bits_to_int(b)
+    return abs(sa - sb) < (1 << d)
+
+
+def d_distance_array(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`d_distance` over uint32 arrays (for Fig. 2).
+
+    Implemented as ``bit_length(a ^ b)`` via the exponent trick: casting
+    the XOR to float64 is exact for 32-bit ints, and ``frexp`` yields the
+    bit length directly — no Python-level loop.
+    """
+    xor = (np.asarray(a, dtype=np.uint32) ^ np.asarray(b, dtype=np.uint32))
+    out = np.zeros(xor.shape, dtype=np.int64)
+    nz = xor != 0
+    # frexp(x) = (m, e) with x = m * 2**e, 0.5 <= m < 1  =>  e == bit_length
+    _, exp = np.frexp(xor[nz].astype(np.float64))
+    out[nz] = exp
+    return out
+
+
+def similarity_cdf(distances: np.ndarray, max_d: int = WORD_BITS) -> np.ndarray:
+    """Fraction of samples with d-distance <= k for k in 0..max_d."""
+    distances = np.asarray(distances)
+    if distances.size == 0:
+        return np.zeros(max_d + 1)
+    counts = np.bincount(np.clip(distances, 0, max_d), minlength=max_d + 1)
+    return np.cumsum(counts[: max_d + 1]) / distances.size
+
+
+# --- bit-pattern conversions -------------------------------------------
+
+def float_to_bits(value: float) -> int:
+    """IEEE-754 binary32 bit pattern of a float (as unsigned int)."""
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    """Inverse of :func:`float_to_bits`."""
+    return struct.unpack("<f", struct.pack("<I", bits & WORD_MASK))[0]
+
+
+def int_to_bits(value: int) -> int:
+    """Two's-complement 32-bit pattern of a (possibly negative) int."""
+    if not -(2**31) <= value < 2**32:
+        raise OverflowError(f"{value} does not fit in 32 bits")
+    return value & WORD_MASK
+
+
+def bits_to_int(bits: int) -> int:
+    """Signed interpretation of a 32-bit pattern."""
+    bits &= WORD_MASK
+    return bits - (1 << WORD_BITS) if bits & 0x80000000 else bits

@@ -1,0 +1,102 @@
+"""Deterministic discrete-event simulation kernel.
+
+A single binary-heap event queue keyed by ``(cycle, seq)``; ``seq`` is a
+monotonically increasing tie-breaker so same-cycle events fire in the
+order they were scheduled, which makes every run bit-reproducible.
+
+The engine knows nothing about caches or cores — components schedule
+callbacks.  Long runs are bounded by ``max_cycles`` (deadlock insurance);
+exceeding it raises :class:`SimulationTimeout` rather than spinning.
+"""
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+__all__ = ["Engine", "SimulationTimeout", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Generic fatal simulator condition."""
+
+
+class SimulationTimeout(SimulationError):
+    """The event queue outlived ``max_cycles`` — almost always a protocol
+    deadlock or a thread program that never finishes."""
+
+
+class Engine:
+    """Minimal event-driven scheduler with a global cycle clock."""
+
+    __slots__ = ("_queue", "_seq", "now", "events_executed", "_running")
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[int, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.now = 0
+        self.events_executed = 0
+        self._running = False
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` cycles from now (delay >= 0)."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, callback))
+
+    def schedule_at(self, cycle: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at an absolute cycle (>= now)."""
+        self.schedule(cycle - self.now, callback)
+
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    def run(self, max_cycles: int = 500_000_000, max_events: int | None = None) -> int:
+        """Drain the queue; returns the final cycle count.
+
+        Re-entrant calls are rejected — a callback must schedule follow-up
+        events, never call :meth:`run`.
+        """
+        if self._running:
+            raise SimulationError("Engine.run() is not re-entrant")
+        self._running = True
+        try:
+            queue = self._queue
+            while queue:
+                cycle, _seq, callback = heapq.heappop(queue)
+                if cycle > max_cycles:
+                    raise SimulationTimeout(
+                        f"simulation exceeded {max_cycles} cycles "
+                        f"({self.events_executed} events executed); "
+                        "likely deadlock or unfinished thread program"
+                    )
+                self.now = cycle
+                self.events_executed += 1
+                if max_events is not None and self.events_executed > max_events:
+                    raise SimulationTimeout(
+                        f"simulation exceeded {max_events} events"
+                    )
+                callback()
+        finally:
+            self._running = False
+        return self.now
+
+    def run_until(self, cycle: int) -> int:
+        """Execute events up to and including ``cycle``; later events stay
+        queued.  Useful for stepping tests through protocol epochs."""
+        if self._running:
+            raise SimulationError("Engine.run_until() is not re-entrant")
+        self._running = True
+        try:
+            queue = self._queue
+            while queue and queue[0][0] <= cycle:
+                evc, _seq, callback = heapq.heappop(queue)
+                self.now = evc
+                self.events_executed += 1
+                callback()
+            if self.now < cycle:
+                self.now = cycle
+        finally:
+            self._running = False
+        return self.now

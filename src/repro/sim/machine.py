@@ -1,0 +1,221 @@
+"""Top-level simulated machine: wires every component together.
+
+``Machine`` owns the engine, the functional backing store, the DRAM
+model, the NoC, the L2 slices, the directory agents at the mesh corners
+and one (L1, core) pair per core node, and provides the run loop plus
+the post-run statistics bundle the harness consumes.
+
+Directory nodes coincide with core tiles (corners host both an L1 and a
+directory controller), so each mesh endpoint demultiplexes incoming
+messages by type: requests/responses addressed to the home go to the
+agent, everything else to the L1.  The two message sets are disjoint by
+construction.
+"""
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.cache.l1 import L1Controller
+from repro.cache.l2 import L2Slice
+from repro.coherence.directory import DirectoryAgent
+from repro.coherence.messages import Message, ProtocolError
+from repro.common.config import SimConfig
+from repro.common.stats import StatGroup
+from repro.common.types import MessageType
+from repro.core.core import Core
+from repro.core.sync import Barrier, Lock
+from repro.mem.backing import BackingStore
+from repro.mem.dram import Dram
+from repro.noc.network import Network
+from repro.sim.engine import Engine, SimulationError
+
+__all__ = ["Machine"]
+
+_DIRECTORY_TYPES = frozenset(
+    {
+        MessageType.GETS, MessageType.GETX, MessageType.UPGRADE,
+        MessageType.PUTS, MessageType.PUTE, MessageType.PUTM,
+        MessageType.INV_ACK, MessageType.CHAIN_DATA, MessageType.CHAIN_ACK,
+        MessageType.CHAIN_ACK_OWNED,
+    }
+)
+
+
+class Machine:
+    """A configured multicore machine ready to run thread programs."""
+
+    def __init__(self, cfg: SimConfig) -> None:
+        self.cfg = cfg
+        self.engine = Engine()
+        self.stats = StatGroup("")
+        self.backing = BackingStore(cfg.block_bytes)
+        self.dram = Dram(
+            cfg.dram, self.engine, cfg.block_bytes, self.stats.child("dram")
+        )
+        self.network = Network(
+            cfg.noc, self.engine, cfg.block_bytes, self.stats.child("noc")
+        )
+        self.l2_slices = [
+            L2Slice(node, cfg.l2, self.stats.child("l2").child(f"slice{node}"))
+            for node in range(cfg.num_cores)
+        ]
+        self.agents: dict[int, DirectoryAgent] = {
+            node: DirectoryAgent(
+                node, cfg, self.engine, self.network, self.l2_slices,
+                self.backing, self.dram,
+                self.stats.child("dir").child(f"d{node}"),
+            )
+            for node in cfg.noc.directory_nodes
+        }
+        self.l1s = [
+            L1Controller(
+                node, cfg, self.engine, self.network,
+                self.stats.child("l1").child(f"c{node}"),
+            )
+            for node in range(cfg.num_cores)
+        ]
+        self.cores: list[Core | None] = [None] * cfg.num_cores
+        for node in range(cfg.noc.num_nodes):
+            self.network.register(node, self._make_endpoint(node))
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def _make_endpoint(self, node: int):
+        agent = self.agents.get(node)
+        l1 = self.l1s[node] if node < self.cfg.num_cores else None
+
+        def dispatch(msg: Message) -> None:
+            if msg.mtype in _DIRECTORY_TYPES:
+                if agent is None:
+                    raise ProtocolError(f"no directory at node {node}: {msg}")
+                agent.receive(msg)
+            else:
+                if l1 is None:
+                    raise ProtocolError(f"no L1 at node {node}: {msg}")
+                l1.receive(msg)
+
+        return dispatch
+
+    # ------------------------------------------------------------------
+    # program setup
+    # ------------------------------------------------------------------
+    def add_thread(self, core_id: int, program: Iterator) -> Core:
+        """Bind a thread program to a core (one program per core)."""
+        if not 0 <= core_id < self.cfg.num_cores:
+            raise ValueError(f"core {core_id} out of range")
+        if self.cores[core_id] is not None:
+            raise ValueError(f"core {core_id} already has a thread")
+        core = Core(
+            core_id, self.engine, self.l1s[core_id], program,
+            self.stats.child("core").child(f"c{core_id}"),
+            quantum=self.cfg.core_quantum,
+        )
+        self.cores[core_id] = core
+        return core
+
+    def barrier(self, parties: int) -> Barrier:
+        """A scheduler-level barrier bound to this machine's engine."""
+        return Barrier(self.engine, parties)
+
+    def lock(self) -> Lock:
+        """A scheduler-level FIFO mutex bound to this machine's engine."""
+        return Lock(self.engine)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int = 500_000_000) -> int:
+        """Start every bound core and drain the event queue.
+
+        Returns the cycle at which the last event executed.  Raises if a
+        core never finished (protocol deadlock or malformed program).
+        """
+        if self._ran:
+            raise SimulationError("Machine.run() may only be called once")
+        self._ran = True
+        active = [c for c in self.cores if c is not None]
+        if not active:
+            raise SimulationError("no thread programs bound")
+        for core in active:
+            core.start()
+        end = self.engine.run(max_cycles=max_cycles)
+        for core in active:
+            if not core.done:
+                raise SimulationError(
+                    f"core {core.cid} never finished (deadlock?)"
+                )
+        self.network.finalize_stats()
+        self.stats.total_cycles = end
+        return end
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    @property
+    def cycles(self) -> int:
+        """Current simulated cycle."""
+        return self.engine.now
+
+    def core_finish_cycles(self) -> list[int]:
+        """Finish cycle of every bound core (post-run)."""
+        return [
+            c.finish_cycle for c in self.cores
+            if c is not None and c.finish_cycle is not None
+        ]
+
+    def check_quiescent(self) -> None:
+        """Post-run invariant: no outstanding transactions anywhere."""
+        for l1 in self.l1s:
+            if not l1.quiescent():
+                raise ProtocolError(f"L1 {l1.node} not quiescent after run")
+        for agent in self.agents.values():
+            if not agent.quiescent():
+                raise ProtocolError(f"directory {agent.node} not quiescent")
+
+    def check_coherence_invariants(self) -> None:
+        """Structural protocol invariants, checkable whenever the system is
+        quiescent:
+
+        * SWMR: at most one L1 holds a block in E/M/O; E/M owners coexist
+          with no S copies, while an O owner (MOESI) coexists with
+          sharers by design (GS copies are *expected* violations of
+          global visibility but still appear in the sharer list; GI
+          copies are invisible to the directory by design).
+        * Directory agreement: dir owner <-> the E/M/O holder; every
+          S/GS holder is in the dir sharer list.
+        """
+        from repro.common.types import CoherenceState as CS
+
+        holders: dict[int, dict[int, CS]] = {}
+        for l1 in self.l1s:
+            for line in l1.array.iter_valid():
+                if line.state is not CS.I:
+                    holders.setdefault(line.tag, {})[l1.node] = line.state
+
+        for block, by_node in holders.items():
+            owners = [n for n, s in by_node.items()
+                      if s in (CS.E, CS.M, CS.O)]
+            exclusive = [n for n, s in by_node.items() if s in (CS.E, CS.M)]
+            shared = [n for n, s in by_node.items() if s in (CS.S, CS.GS)]
+            if len(owners) > 1:
+                raise ProtocolError(
+                    f"SWMR violated on {block:#x}: owners {owners}"
+                )
+            if exclusive and shared:
+                raise ProtocolError(
+                    f"{block:#x} owned by {exclusive[0]} but shared by {shared}"
+                )
+            agent = self.agents[self.cfg.home_directory(block)]
+            entry = agent.peek_entry(block)
+            if owners:
+                if entry is None or entry.owner != owners[0]:
+                    raise ProtocolError(
+                        f"dir/owner mismatch on {block:#x}: "
+                        f"L1 owner {owners[0]}, dir {entry}"
+                    )
+            for node in shared:
+                if entry is None or node not in entry.sharers:
+                    raise ProtocolError(
+                        f"{block:#x}: node {node} holds S/GS but is not a "
+                        "directory sharer"
+                    )

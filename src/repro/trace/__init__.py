@@ -1,0 +1,12 @@
+"""Trace recording, analysis and replay."""
+from repro.trace.record import Trace, TraceRecorder
+from repro.trace.replay import replay_trace
+from repro.trace.sharing import (
+    BlockReport, SharingPattern, classify_trace, false_sharing_candidates,
+)
+
+__all__ = [
+    "Trace", "TraceRecorder", "replay_trace",
+    "BlockReport", "SharingPattern", "classify_trace",
+    "false_sharing_candidates",
+]

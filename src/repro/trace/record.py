@@ -1,0 +1,140 @@
+"""Memory-reference trace recording.
+
+Attaching a :class:`TraceRecorder` to a machine captures every L1 access
+(cycle, core, access type, address, store value, hit/miss) into columnar
+numpy arrays.  Traces feed three consumers:
+
+* :mod:`repro.trace.sharing` — sharing-pattern classification (the
+  paper's §2 motivation: finding false sharing),
+* :mod:`repro.trace.replay` — trace-driven re-simulation under a
+  different protocol configuration,
+* offline storage (``save``/``load`` round-trip through ``.npz``).
+"""
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.types import AccessType
+from repro.sim.machine import Machine
+
+__all__ = ["Trace", "TraceRecorder"]
+
+_ATYPE_CODE = {
+    AccessType.LOAD: 0,
+    AccessType.STORE: 1,
+    AccessType.SCRIBBLE: 2,
+}
+_CODE_ATYPE = {v: k for k, v in _ATYPE_CODE.items()}
+
+
+class Trace:
+    """An immutable columnar access trace."""
+
+    __slots__ = ("cycles", "cores", "atypes", "addrs", "values", "hits",
+                 "block_bytes")
+
+    def __init__(self, cycles, cores, atypes, addrs, values, hits,
+                 block_bytes: int = 64) -> None:
+        self.cycles = np.asarray(cycles, dtype=np.int64)
+        self.cores = np.asarray(cores, dtype=np.int32)
+        self.atypes = np.asarray(atypes, dtype=np.int8)
+        self.addrs = np.asarray(addrs, dtype=np.int64)
+        self.values = np.asarray(values, dtype=np.int64)
+        self.hits = np.asarray(hits, dtype=bool)
+        self.block_bytes = block_bytes
+        n = len(self.cycles)
+        for arr in (self.cores, self.atypes, self.addrs, self.values,
+                    self.hits):
+            if len(arr) != n:
+                raise ValueError("trace columns have mismatched lengths")
+
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+    # -- derived views -----------------------------------------------------
+    def blocks(self) -> np.ndarray:
+        """Block-aligned address of every access."""
+        return self.addrs - (self.addrs % self.block_bytes)
+
+    def atype_of(self, i: int) -> AccessType:
+        """Access type of the i-th trace entry."""
+        return _CODE_ATYPE[int(self.atypes[i])]
+
+    def is_write(self) -> np.ndarray:
+        """Boolean mask of stores and scribbles."""
+        return self.atypes != _ATYPE_CODE[AccessType.LOAD]
+
+    def for_core(self, core: int) -> "Trace":
+        """Sub-trace of one core's accesses (program order preserved)."""
+        mask = self.cores == core
+        return Trace(
+            self.cycles[mask], self.cores[mask], self.atypes[mask],
+            self.addrs[mask], self.values[mask], self.hits[mask],
+            self.block_bytes,
+        )
+
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed."""
+        return float((~self.hits).mean()) if len(self) else 0.0
+
+    # -- persistence ------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist the trace as compressed ``.npz``."""
+        np.savez_compressed(
+            Path(path),
+            cycles=self.cycles, cores=self.cores, atypes=self.atypes,
+            addrs=self.addrs, values=self.values, hits=self.hits,
+            block_bytes=np.int64(self.block_bytes),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        """Load a trace saved with :meth:`save`."""
+        data = np.load(Path(path))
+        return cls(
+            data["cycles"], data["cores"], data["atypes"], data["addrs"],
+            data["values"], data["hits"], int(data["block_bytes"]),
+        )
+
+
+class TraceRecorder:
+    """Collects accesses from every L1 of a machine."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self._cycles: list[int] = []
+        self._cores: list[int] = []
+        self._atypes: list[int] = []
+        self._addrs: list[int] = []
+        self._values: list[int] = []
+        self._hits: list[bool] = []
+        for l1 in machine.l1s:
+            if l1.access_hook is not None:
+                raise RuntimeError(f"L1 {l1.node} already has an access hook")
+            l1.access_hook = self._record
+
+    def _record(self, cycle, node, atype, addr, value, hit) -> None:
+        self._cycles.append(cycle)
+        self._cores.append(node)
+        self._atypes.append(_ATYPE_CODE[atype])
+        self._addrs.append(addr)
+        self._values.append(value if value is not None else 0)
+        self._hits.append(hit)
+
+    def detach(self) -> None:
+        """Stop recording (unhook from every L1)."""
+        for l1 in self.machine.l1s:
+            if l1.access_hook == self._record:
+                l1.access_hook = None
+
+    def trace(self) -> Trace:
+        """Snapshot the recorded accesses as an immutable Trace."""
+        return Trace(
+            self._cycles, self._cores, self._atypes, self._addrs,
+            self._values, self._hits, self.machine.cfg.block_bytes,
+        )
+
+    def __len__(self) -> int:
+        return len(self._cycles)

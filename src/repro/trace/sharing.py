@@ -1,0 +1,147 @@
+"""Sharing-pattern classification over recorded traces.
+
+The paper's §2 motivates Ghostwriter with the difficulty of *finding*
+false sharing ("only implicitly defined in the source code").  This
+module is the detection tool the reproduction ships: given a trace, it
+classifies every cache block by how cores touch it —
+
+* ``PRIVATE``       — one core only;
+* ``READ_SHARED``   — many readers, at most one writer that only wrote
+  words nobody else touches before any reader... (strictly: no writes
+  from a second core);
+* ``TRUE_SHARED``   — multiple cores write the *same word*;
+* ``FALSE_SHARED``  — multiple cores write the block but never the same
+  word: exactly the pattern Ghostwriter's GS/GI absorb;
+* ``MIXED``         — both true and false sharing present.
+
+It also estimates per-block contention (write interleavings between
+different cores) so blocks can be ranked by expected ping-pong.
+"""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.record import Trace
+
+__all__ = ["SharingPattern", "BlockReport", "classify_trace",
+           "false_sharing_candidates"]
+
+
+class SharingPattern(enum.Enum):
+    """How the cores of a run touched one cache block."""
+    PRIVATE = "private"
+    READ_SHARED = "read-shared"
+    FALSE_SHARED = "false-shared"
+    TRUE_SHARED = "true-shared"
+    MIXED = "mixed"
+
+
+@dataclass(frozen=True, slots=True)
+class BlockReport:
+    block: int
+    pattern: SharingPattern
+    readers: int
+    writers: int
+    accesses: int
+    writes: int
+    #: consecutive-write pairs from different cores (ping-pong proxy)
+    write_interleavings: int
+
+    @property
+    def contention_score(self) -> float:
+        """Write ping-pongs per write: 1.0 means every write alternated cores."""
+        return self.write_interleavings / max(self.writes, 1)
+
+
+def classify_trace(trace: Trace) -> dict[int, BlockReport]:
+    """Classify every block touched by the trace."""
+    if len(trace) == 0:
+        return {}
+    blocks = trace.blocks()
+    is_write = trace.is_write()
+    order = np.argsort(trace.cycles, kind="stable")
+
+    reports: dict[int, BlockReport] = {}
+    for block in np.unique(blocks):
+        mask = blocks == block
+        cores = trace.cores[mask]
+        writes_mask = is_write[mask]
+        addrs = trace.addrs[mask]
+
+        readers = set(cores[~writes_mask].tolist())
+        writers = set(cores[writes_mask].tolist())
+        n_writes = int(writes_mask.sum())
+
+        # word-level: does any word see writes from more than one core?
+        true_shared = False
+        if len(writers) > 1:
+            for word in np.unique(addrs[writes_mask]):
+                word_writers = set(
+                    cores[writes_mask & (addrs == word)].tolist()
+                )
+                if len(word_writers) > 1:
+                    true_shared = True
+                    break
+        # word-level: do different cores write different words?
+        false_shared = False
+        if len(writers) > 1:
+            by_word: dict[int, set[int]] = {}
+            for word, core in zip(addrs[writes_mask].tolist(),
+                                  cores[writes_mask].tolist()):
+                by_word.setdefault(word, set()).add(core)
+            writer_words = {
+                w: cs for w, cs in by_word.items()
+            }
+            # a pair of words with disjoint single writers => false sharing
+            single_owned = [
+                (w, next(iter(cs))) for w, cs in writer_words.items()
+                if len(cs) == 1
+            ]
+            owners = {o for _w, o in single_owned}
+            false_shared = len(owners) > 1
+
+        if len(readers | writers) <= 1:
+            pattern = SharingPattern.PRIVATE
+        elif not writers or len(writers) == 1 and not true_shared and not false_shared:
+            pattern = SharingPattern.READ_SHARED
+        elif true_shared and false_shared:
+            pattern = SharingPattern.MIXED
+        elif true_shared:
+            pattern = SharingPattern.TRUE_SHARED
+        elif false_shared:
+            pattern = SharingPattern.FALSE_SHARED
+        else:
+            pattern = SharingPattern.READ_SHARED
+
+        # write interleavings in time order
+        interleavings = 0
+        if n_writes > 1:
+            seq_mask = mask[order]
+            w_seq = is_write[order][seq_mask]
+            c_seq = trace.cores[order][seq_mask]
+            wc = c_seq[w_seq]
+            interleavings = int((wc[1:] != wc[:-1]).sum())
+
+        reports[int(block)] = BlockReport(
+            block=int(block), pattern=pattern,
+            readers=len(readers), writers=len(writers),
+            accesses=int(mask.sum()), writes=n_writes,
+            write_interleavings=interleavings,
+        )
+    return reports
+
+
+def false_sharing_candidates(trace: Trace,
+                             min_interleavings: int = 4) -> list[BlockReport]:
+    """Blocks most likely to benefit from Ghostwriter annotation, ranked
+    by contention: false/mixed-shared blocks with real write ping-pong."""
+    reports = classify_trace(trace)
+    hits = [
+        r for r in reports.values()
+        if r.pattern in (SharingPattern.FALSE_SHARED, SharingPattern.MIXED)
+        and r.write_interleavings >= min_interleavings
+    ]
+    return sorted(hits, key=lambda r: r.write_interleavings, reverse=True)

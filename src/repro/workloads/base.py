@@ -1,0 +1,134 @@
+"""Workload abstraction.
+
+A :class:`Workload` knows how to (1) allocate and initialize its data
+structures in a machine's simulated memory, (2) bind one thread program
+per core, (3) compute an exact reference output in plain Python, and
+(4) report the output the simulated run actually produced (collected by
+the threads themselves through simulated loads, so approximate execution
+shows up in the output exactly as it would on the paper's hardware).
+
+Workloads always emit the approximation pragmas; on a machine whose
+Ghostwriter protocol is disabled the scribbles degrade to conventional
+stores, so a single program serves both the baseline and the approximate
+runs — the same way one binary runs on both machines in the paper.
+"""
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.errors import error_for_metric
+from repro.common.config import SimConfig
+from repro.sim.machine import Machine
+from repro.workloads.alloc import SharedMemory
+
+__all__ = ["Workload", "WorkloadResult"]
+
+
+class WorkloadResult:
+    """Everything the harness needs from one finished run."""
+
+    __slots__ = ("workload", "cycles", "stats", "machine", "output",
+                 "reference", "error_pct")
+
+    def __init__(self, workload: "Workload", machine: Machine,
+                 cycles: int) -> None:
+        self.workload = workload
+        self.machine = machine
+        self.cycles = cycles
+        self.stats = machine.stats
+        self.output = np.asarray(workload.collect_output(), dtype=np.float64)
+        self.reference = np.asarray(workload.reference_output(),
+                                    dtype=np.float64)
+        self.error_pct = error_for_metric(
+            workload.error_metric, self.reference, self.output
+        )
+
+
+class Workload(abc.ABC):
+    """Base class for every benchmark (Table 2) and microbenchmark."""
+
+    #: registry metadata (Table 2 columns)
+    name: str = "?"
+    suite: str = "?"
+    domain: str = "?"
+    input_desc: str = "?"
+    error_metric: str = "MPE"  # or "NRMSE"
+
+    def __init__(self, num_threads: int, d_distance: int = 4,
+                 seed: int = 12345, scale: float = 1.0) -> None:
+        if num_threads < 1:
+            raise ValueError("need at least one thread")
+        if not 0.0 < scale <= 64.0:
+            raise ValueError("scale out of range")
+        self.num_threads = num_threads
+        self.d_distance = d_distance
+        self.seed = seed
+        self.scale = scale
+        self.rng = np.random.default_rng(seed)
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # machinery subclasses implement
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def build(self, machine: Machine) -> None:
+        """Allocate inputs/outputs and bind one program per thread."""
+
+    @abc.abstractmethod
+    def reference_output(self) -> Sequence[float]:
+        """Exact output, computed in plain Python."""
+
+    @abc.abstractmethod
+    def collect_output(self) -> Sequence[float]:
+        """Output observed by the simulated application (post-run)."""
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def make_memory(self, machine: Machine) -> SharedMemory:
+        """A shared-memory allocator bound to the machine's backing store."""
+        return SharedMemory(machine.backing, machine.cfg.block_bytes)
+
+    def scaled(self, n: int, minimum: int = 1) -> int:
+        """Scale a nominal size by the workload's scale factor."""
+        return max(minimum, int(round(n * self.scale)))
+
+    def chunks(self, total: int) -> list[range]:
+        """Contiguous per-thread ranges (OpenMP static schedule)."""
+        per = -(-total // self.num_threads)
+        return [
+            range(t * per, min((t + 1) * per, total))
+            for t in range(self.num_threads)
+        ]
+
+    # ------------------------------------------------------------------
+    # one-stop runner
+    # ------------------------------------------------------------------
+    def run(self, cfg: SimConfig, max_cycles: int = 500_000_000) -> WorkloadResult:
+        """Build a machine with ``cfg``, run to completion, bundle results."""
+        if cfg.num_cores < self.num_threads:
+            raise ValueError(
+                f"{self.name}: {self.num_threads} threads > "
+                f"{cfg.num_cores} cores"
+            )
+        if self._built:
+            raise RuntimeError(
+                f"{self.name}: a Workload instance can run only once "
+                "(construct a fresh one per run)"
+            )
+        self._built = True
+        # the machine config is the single source of truth for the
+        # d-distance the programs program into the scribe units
+        self.d_distance = cfg.ghostwriter.d_distance
+        machine = Machine(cfg)
+        self.build(machine)
+        machine.run(max_cycles=max_cycles)
+        machine.check_quiescent()
+        # execution time is when the last thread finishes; the queue keeps
+        # draining housekeeping events (e.g. a pending GI timeout) after
+        # that, which must not count against the protocol
+        cycles = max(machine.core_finish_cycles())
+        return WorkloadResult(self, machine, cycles)

@@ -1,0 +1,74 @@
+"""Unit + property tests for the MPE / NRMSE metrics."""
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.errors import error_for_metric, mpe, nrmse
+
+finite = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e6, max_value=1e6)
+
+
+class TestMpe:
+    def test_exact_is_zero(self):
+        assert mpe([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_known_value(self):
+        assert mpe([100.0], [110.0]) == pytest.approx(10.0)
+
+    def test_takes_maximum(self):
+        assert mpe([100, 100], [101, 150]) == pytest.approx(50.0)
+
+    def test_zero_reference_uses_absolute(self):
+        assert mpe([0.0], [0.5]) == pytest.approx(50.0)
+        assert mpe([0.0], [0.0]) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mpe([1, 2], [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mpe([], [])
+
+    @given(st.lists(finite, min_size=1, max_size=50))
+    def test_identity_property(self, xs):
+        assert mpe(xs, xs) == 0.0
+
+    @given(st.lists(finite, min_size=1, max_size=50), finite)
+    def test_nonnegative(self, xs, delta):
+        ys = [x + delta for x in xs]
+        assert mpe(xs, ys) >= 0.0
+
+
+class TestNrmse:
+    def test_exact_is_zero(self):
+        assert nrmse([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_known_value(self):
+        # range = 10, rmse of uniform +1 error = 1 -> 10%
+        ref = [0.0, 10.0]
+        out = [1.0, 11.0]
+        assert nrmse(ref, out) == pytest.approx(10.0)
+
+    def test_constant_reference_falls_back(self):
+        assert nrmse([5.0, 5.0], [6.0, 6.0]) == pytest.approx(20.0)
+
+    @given(st.lists(finite, min_size=2, max_size=50))
+    def test_identity_property(self, xs):
+        assert nrmse(xs, xs) == 0.0
+
+    @given(st.lists(finite, min_size=2, max_size=50),
+           st.floats(min_value=0.1, max_value=100))
+    def test_scales_with_error(self, xs, k):
+        ys1 = [x + 1.0 for x in xs]
+        ysk = [x + 1.0 + k for x in xs]
+        assert nrmse(xs, ysk) >= nrmse(xs, ys1) - 1e-9
+
+
+class TestDispatch:
+    def test_metric_dispatch(self):
+        assert error_for_metric("MPE", [1], [1]) == 0.0
+        assert error_for_metric("NRMSE", [1, 2], [1, 2]) == 0.0
+        with pytest.raises(ValueError):
+            error_for_metric("RMSE", [1], [1])

@@ -1,0 +1,64 @@
+"""Unit tests for the L2 slice."""
+from repro.cache.l2 import L2Slice
+from repro.common.config import CacheConfig
+from repro.common.stats import StatGroup
+
+
+def _slice(size=4096, assoc=8):
+    return L2Slice(0, CacheConfig(size, assoc, 64, 10), StatGroup("l2"))
+
+
+class TestProbeFill:
+    def test_miss_then_hit(self):
+        s = _slice()
+        assert s.probe(0x40) is None
+        s.fill(0x40, list(range(16)), dirty=False)
+        assert s.probe(0x40) == list(range(16))
+        assert s.stats.read_misses == 1
+        assert s.stats.read_hits == 1
+
+    def test_probe_returns_copy(self):
+        s = _slice()
+        s.fill(0x40, [7] * 16, dirty=False)
+        words = s.probe(0x40)
+        words[0] = 99
+        assert s.probe(0x40)[0] == 7
+
+    def test_refill_overwrites_and_merges_dirty(self):
+        s = _slice()
+        s.fill(0x40, [1] * 16, dirty=True)
+        s.fill(0x40, [2] * 16, dirty=False)
+        assert s.probe(0x40) == [2] * 16
+        line = s._line(0x40)
+        assert line.state is True  # dirty bit sticks until cleaned
+
+    def test_mark_clean(self):
+        s = _slice()
+        s.fill(0x40, [1] * 16, dirty=True)
+        s.mark_clean(0x40)
+        assert s._line(0x40).state is False
+
+
+class TestEviction:
+    def test_victim_returned_with_dirty_flag(self):
+        cfg = CacheConfig(512, 2, 64, 10)  # 4 sets, 2 ways
+        s = L2Slice(0, cfg, StatGroup("l2"))
+        stride = cfg.num_sets * 64
+        s.fill(0, [1] * 16, dirty=True)
+        s.fill(stride, [2] * 16, dirty=False)
+        victim = s.fill(2 * stride, [3] * 16, dirty=False)
+        assert victim is not None
+        assert victim.block_addr in (0, stride)
+        if victim.block_addr == 0:
+            assert victim.dirty
+        assert s.stats.evictions == 1
+
+    def test_clean_fill_no_victim_when_space(self):
+        s = _slice()
+        assert s.fill(0x40, [0] * 16, dirty=False) is None
+
+    def test_occupancy(self):
+        s = _slice()
+        for i in range(5):
+            s.fill(i * 64, [0] * 16, dirty=False)
+        assert s.occupancy() == 5

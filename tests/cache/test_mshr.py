@@ -1,0 +1,49 @@
+"""Unit tests for the MSHR file."""
+import pytest
+
+from repro.cache.mshr import MshrEntry, MshrFile, MshrKind
+
+
+def _entry(block=0x40, kind=MshrKind.LOAD):
+    return MshrEntry(block, kind, block, None, False, lambda: None, 0)
+
+
+class TestMshrFile:
+    def test_allocate_and_get(self):
+        f = MshrFile(capacity=2)
+        e = f.allocate(_entry(0x40))
+        assert f.get(0x40) is e
+        assert 0x40 in f
+        assert f.outstanding() == 1
+
+    def test_duplicate_rejected(self):
+        f = MshrFile()
+        f.allocate(_entry(0x40))
+        with pytest.raises(RuntimeError):
+            f.allocate(_entry(0x40))
+
+    def test_capacity_enforced(self):
+        f = MshrFile(capacity=1)
+        f.allocate(_entry(0x40))
+        assert f.full()
+        with pytest.raises(RuntimeError):
+            f.allocate(_entry(0x80))
+
+    def test_retire(self):
+        f = MshrFile()
+        f.allocate(_entry(0x40))
+        e = f.retire(0x40)
+        assert e.block_addr == 0x40
+        assert f.outstanding() == 0
+        with pytest.raises(KeyError):
+            f.retire(0x40)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MshrFile(capacity=0)
+
+    def test_entry_defaults(self):
+        e = _entry()
+        assert e.deferred == []
+        assert e.fill_to_invalid is False
+        assert not e.is_scribble

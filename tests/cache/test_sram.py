@@ -1,0 +1,132 @@
+"""Unit + property tests for the SRAM array and tree pseudo-LRU."""
+from hypothesis import given, strategies as st
+
+from repro.cache.sram import CacheArray, _PlruTree
+from repro.common.config import CacheConfig
+
+
+def _cfg(size=1024, assoc=2, block=64):
+    return CacheConfig(size, assoc, block)
+
+
+class TestLookupInstall:
+    def test_miss_then_hit(self):
+        arr = CacheArray(_cfg())
+        assert arr.lookup(0x40) is None
+        line = arr.find_free_or_victim(0x40, lambda l: True)
+        arr.install(line, 0x40)
+        line.words = [1] * 16
+        assert arr.lookup(0x40) is line
+
+    def test_same_set_conflict(self):
+        cfg = _cfg()  # 8 sets, 2 ways
+        arr = CacheArray(cfg)
+        blocks = [0x40 + i * 64 * cfg.num_sets for i in range(3)]  # same set
+        for b in blocks[:2]:
+            line = arr.find_free_or_victim(b, lambda l: True)
+            assert not line.valid
+            arr.install(line, b)
+        victim = arr.find_free_or_victim(blocks[2], lambda l: True)
+        assert victim.valid  # set is full: a victim must be offered
+        assert victim.tag in blocks[:2]
+
+    def test_pinned_lines_not_victimized(self):
+        cfg = _cfg()
+        arr = CacheArray(cfg)
+        same_set = [64 * cfg.num_sets * i for i in range(3)]
+        for b in same_set[:2]:
+            line = arr.find_free_or_victim(b, lambda l: True)
+            arr.install(line, b)
+            line.pinned = True
+        assert arr.find_free_or_victim(same_set[2], lambda l: True) is None
+
+    def test_evictable_filter_respected(self):
+        cfg = _cfg()
+        arr = CacheArray(cfg)
+        same_set = [64 * cfg.num_sets * i for i in range(3)]
+        for b in same_set[:2]:
+            line = arr.find_free_or_victim(b, lambda l: True)
+            arr.install(line, b)
+        victim = arr.find_free_or_victim(
+            same_set[2], lambda l: l.tag == same_set[0]
+        )
+        assert victim.tag == same_set[0]
+
+    def test_occupancy(self):
+        arr = CacheArray(_cfg())
+        assert arr.occupancy() == 0
+        line = arr.find_free_or_victim(0, lambda l: True)
+        arr.install(line, 0)
+        assert arr.occupancy() == 1
+
+
+class TestPlru:
+    def test_two_way_victimizes_cold_way(self):
+        t = _PlruTree(2)
+        t.touch(0)
+        assert t.victim(lambda w: True) == 1
+        t.touch(1)
+        assert t.victim(lambda w: True) == 0
+
+    def test_single_way(self):
+        t = _PlruTree(1)
+        t.touch(0)
+        assert t.victim(lambda w: True) == 0
+        assert t.victim(lambda w: False) is None
+
+    def test_victim_never_most_recent(self):
+        for assoc in (2, 4, 8):
+            t = _PlruTree(assoc)
+            for w in range(assoc):
+                t.touch(w)
+                assert t.victim(lambda x: True) != w
+
+    def test_fills_all_ways_before_reuse(self):
+        """Starting cold and touching the chosen victim each time should
+        cycle through every way before repeating (PLRU covers the set)."""
+        for assoc in (2, 4, 8):
+            t = _PlruTree(assoc)
+            seen = []
+            for _ in range(assoc):
+                v = t.victim(lambda w: True)
+                seen.append(v)
+                t.touch(v)
+            assert sorted(seen) == list(range(assoc))
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1,
+                    max_size=200))
+    def test_victim_always_valid_way(self, touches):
+        t = _PlruTree(8)
+        for w in touches:
+            t.touch(w)
+            v = t.victim(lambda x: True)
+            assert 0 <= v < 8
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1,
+                    max_size=100))
+    def test_fallback_when_plru_way_blocked(self, touches):
+        t = _PlruTree(4)
+        for w in touches:
+            t.touch(w)
+        v = t.victim(lambda x: x == 2)
+        assert v == 2
+
+
+class TestLruBehaviour:
+    def test_repeated_access_protects_line(self):
+        """A hot block must survive a stream of conflicting fills."""
+        cfg = _cfg(size=512, assoc=2, block=64)  # 4 sets
+        arr = CacheArray(cfg)
+        hot = 0x0
+        line = arr.find_free_or_victim(hot, lambda l: True)
+        arr.install(line, hot)
+        stride = 64 * cfg.num_sets
+        for i in range(1, 10):
+            arr.lookup(hot)  # keep hot
+            blk = stride * i
+            v = arr.find_free_or_victim(blk, lambda l: True)
+            if v.valid:
+                assert v.tag != hot
+                v.clear()
+            arr.install(v, blk)
+        assert arr.lookup(hot) is not None

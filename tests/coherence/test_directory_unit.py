@@ -1,0 +1,221 @@
+"""Direct unit tests of the directory agent: messages injected by hand.
+
+A minimal two-node harness (no cores) drives the agent through each
+request type and checks directory state, response types, and response
+destinations — complementing the end-to-end protocol tests.
+"""
+import pytest
+
+from repro.cache.l2 import L2Slice
+from repro.coherence.directory import DirectoryAgent
+from repro.coherence.messages import Message, ProtocolError
+from repro.common.config import small_config
+from repro.common.stats import StatGroup
+from repro.common.types import DirState, MessageType
+from repro.mem.backing import BackingStore
+from repro.mem.dram import Dram
+from repro.noc.network import Network
+from repro.sim.engine import Engine
+
+BLK = 0x4000
+
+
+class _Harness:
+    """Directory agent at node 0; fake L1 endpoints capturing messages."""
+
+    def __init__(self, num_cores=4):
+        self.cfg = small_config(num_cores=num_cores)
+        self.engine = Engine()
+        self.backing = BackingStore(64)
+        self.network = Network(self.cfg.noc, self.engine, 64)
+        self.dram = Dram(self.cfg.dram, self.engine, 64)
+        slices = [
+            L2Slice(n, self.cfg.l2, StatGroup(f"s{n}"))
+            for n in range(num_cores)
+        ]
+        self.inboxes: dict[int, list[Message]] = {
+            n: [] for n in range(self.cfg.noc.num_nodes)
+        }
+        home = self.cfg.home_directory(BLK)
+        self.agent = DirectoryAgent(
+            home, self.cfg, self.engine, self.network, slices,
+            self.backing, self.dram, StatGroup("dir"),
+        )
+        for node in range(self.cfg.noc.num_nodes):
+            if node == home:
+                self.network.register(node, self._dispatch)
+            else:
+                self.network.register(
+                    node, lambda m, n=node: self.inboxes[n].append(m)
+                )
+        self.home = home
+
+    def _dispatch(self, msg):
+        self.agent.receive(msg)
+
+    def send(self, mtype, src, **kw):
+        self.network.send(Message(mtype, BLK, src=src, dst=self.home, **kw))
+        self.engine.run()
+
+    def got(self, node, mtype):
+        return [m for m in self.inboxes[node] if m.mtype is mtype]
+
+
+def _other_node(h):
+    return next(n for n in range(h.cfg.num_cores) if n != h.home)
+
+
+class TestReads:
+    def test_first_gets_grants_exclusive(self):
+        h = _Harness()
+        req = _other_node(h)
+        h.backing.store_word(BLK, 99)
+        h.send(MessageType.GETS, req, requestor=req)
+        fills = h.got(req, MessageType.DATA_E)
+        assert len(fills) == 1
+        assert fills[0].words[0] == 99
+        entry = h.agent.peek_entry(BLK)
+        assert entry.state is DirState.EM and entry.owner == req
+
+    def test_second_gets_forwards_to_owner(self):
+        h = _Harness()
+        a, b = 1, 2
+        h.send(MessageType.GETS, a, requestor=a)
+        h.send(MessageType.GETS, b, requestor=b)
+        fwd = h.got(a, MessageType.FWD_GETS)
+        assert len(fwd) == 1
+        assert fwd[0].requestor == b
+        # entry busy until the chain resolves
+        assert h.agent.peek_entry(BLK).busy
+        # owner answers with a chained ack (clean E copy)
+        h.send(MessageType.CHAIN_ACK, a)
+        entry = h.agent.peek_entry(BLK)
+        assert entry.state is DirState.S
+        assert entry.sharers == {a, b}
+
+    def test_gets_while_shared_serves_from_l2(self):
+        h = _Harness()
+        a, b, c = 1, 2, 3
+        h.send(MessageType.GETS, a, requestor=a)
+        h.send(MessageType.GETS, b, requestor=b)
+        h.send(MessageType.CHAIN_ACK, a)
+        h.send(MessageType.GETS, c, requestor=c)
+        assert len(h.got(c, MessageType.DATA)) == 1
+        assert h.agent.peek_entry(BLK).sharers == {a, b, c}
+
+
+class TestWrites:
+    def test_getx_invalidates_sharers(self):
+        h = _Harness()
+        a, b, c = 1, 2, 3
+        # establish sharers {a, b}
+        h.send(MessageType.GETS, a, requestor=a)
+        h.send(MessageType.GETS, b, requestor=b)
+        h.send(MessageType.CHAIN_ACK, a)
+        # c wants exclusive
+        h.send(MessageType.GETX, c, requestor=c)
+        assert len(h.got(a, MessageType.INV)) == 1
+        assert len(h.got(b, MessageType.INV)) == 1
+        assert h.got(c, MessageType.DATA) == []  # waiting for acks
+        h.send(MessageType.INV_ACK, a)
+        h.send(MessageType.INV_ACK, b)
+        assert len(h.got(c, MessageType.DATA)) == 1
+        entry = h.agent.peek_entry(BLK)
+        assert entry.state is DirState.EM and entry.owner == c
+
+    def test_pure_upgrade_acked_after_invalidations(self):
+        h = _Harness()
+        a, b = 1, 2
+        h.send(MessageType.GETS, a, requestor=a)
+        h.send(MessageType.GETS, b, requestor=b)
+        h.send(MessageType.CHAIN_ACK, a)
+        h.send(MessageType.UPGRADE, a, requestor=a)
+        assert len(h.got(b, MessageType.INV)) == 1
+        assert h.got(a, MessageType.ACK) == []
+        h.send(MessageType.INV_ACK, b)
+        assert len(h.got(a, MessageType.ACK)) == 1
+        assert h.agent.peek_entry(BLK).owner == a
+
+    def test_upgrade_from_nonsharer_promoted_to_getx(self):
+        h = _Harness()
+        a = 1
+        # dir state I: the UPGRADE cannot be granted in place
+        h.send(MessageType.UPGRADE, a, requestor=a)
+        assert len(h.got(a, MessageType.DATA)) == 1
+        assert h.agent.stats.upgrades_promoted == 1
+
+
+class TestWritebacks:
+    def _make_owner(self, h, node):
+        h.send(MessageType.GETX, node, requestor=node)
+        h.inboxes[node].clear()
+
+    def test_putm_writes_back_and_acks(self):
+        h = _Harness()
+        a = 1
+        self._make_owner(h, a)
+        h.send(MessageType.PUTM, a, words=[7] * 16)
+        acks = h.got(a, MessageType.ACK)
+        assert len(acks) == 1 and not acks[0].stale
+        assert h.agent.peek_entry(BLK) is None  # entry garbage-collected
+        # data is readable again
+        h.send(MessageType.GETS, 2, requestor=2)
+        assert h.got(2, MessageType.DATA_E)[0].words == [7] * 16
+
+    def test_stale_putm_ack_discarded(self):
+        h = _Harness()
+        a, b = 1, 2
+        self._make_owner(h, a)
+        # ownership moves to b first
+        h.send(MessageType.GETX, b, requestor=b)
+        h.send(MessageType.CHAIN_ACK, a)
+        # a's (stale) writeback arrives afterwards
+        h.send(MessageType.PUTM, a, words=[9] * 16)
+        acks = h.got(a, MessageType.ACK)
+        assert len(acks) == 1 and acks[0].stale
+        assert h.agent.peek_entry(BLK).owner == b
+
+    def test_puts_prunes_sharer(self):
+        h = _Harness()
+        a, b = 1, 2
+        h.send(MessageType.GETS, a, requestor=a)
+        h.send(MessageType.GETS, b, requestor=b)
+        h.send(MessageType.CHAIN_ACK, a)
+        h.send(MessageType.PUTS, a)
+        assert h.agent.peek_entry(BLK).sharers == {b}
+        h.send(MessageType.PUTS, b)
+        assert h.agent.peek_entry(BLK) is None
+
+    def test_pute_clears_owner(self):
+        h = _Harness()
+        a = 1
+        h.send(MessageType.GETS, a, requestor=a)  # E grant
+        h.inboxes[a].clear()
+        h.send(MessageType.PUTE, a)
+        assert len(h.got(a, MessageType.ACK)) == 1
+        assert h.agent.peek_entry(BLK) is None
+
+
+class TestSerialization:
+    def test_requests_queue_behind_busy_transaction(self):
+        h = _Harness()
+        a, b, c = 1, 2, 3
+        h.send(MessageType.GETS, a, requestor=a)
+        # start a forward chain (leaves entry busy until chain ack)
+        h.network.send(Message(MessageType.GETS, BLK, src=b, dst=h.home,
+                               requestor=b))
+        h.network.send(Message(MessageType.GETX, BLK, src=c, dst=h.home,
+                               requestor=c))
+        h.engine.run()
+        # c's GETX must not have been processed yet
+        assert h.got(c, MessageType.DATA) == []
+        assert len(h.agent.peek_entry(BLK).pending) == 1
+        h.send(MessageType.CHAIN_ACK, a)  # finish b's GETS
+        # now c's queued GETX proceeds: INVs to the sharers {a, b}
+        assert len(h.got(a, MessageType.INV)) == 1
+        assert len(h.got(b, MessageType.INV)) == 1
+
+    def test_response_without_transaction_raises(self):
+        h = _Harness()
+        with pytest.raises(ProtocolError):
+            h.send(MessageType.INV_ACK, 1)

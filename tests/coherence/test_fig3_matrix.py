@@ -1,0 +1,143 @@
+"""Remaining Fig. 3 edges not covered by test_state_machine: the effect
+of *remote* transactions on each local state."""
+from repro.common.types import CoherenceState as CS
+from repro.isa.instructions import Compute, Load, Scribble, SetAprx, Store
+
+from tests.conftest import build_machine, run_scripts
+
+BLK = 0x4000
+
+
+def _observer_then_remote(local_ops, remote_ops, *, d=4, gi_timeout=100000):
+    """Run core 0's ops, then (after a gap) core 1's; return the machine."""
+    m = build_machine(2, d_distance=d, gi_timeout=gi_timeout)
+
+    def a():
+        yield SetAprx(d)
+        for op in local_ops:
+            yield op
+        yield Compute(600)  # wait out the remote activity
+
+    def b():
+        yield SetAprx(d)
+        yield Compute(300)
+        for op in remote_ops:
+            yield op
+        yield Compute(100)
+
+    run_scripts(m, a(), b())
+    return m
+
+
+class TestRemoteReadEffects:
+    def test_e_downgrades_to_s_on_remote_load(self):
+        m = _observer_then_remote([Load(BLK)], [Load(BLK + 4)])
+        assert m.l1s[0].state_of(BLK) is CS.S
+
+    def test_m_downgrades_to_s_on_remote_load(self):
+        m = _observer_then_remote([Store(BLK, 1)], [Load(BLK + 4)])
+        assert m.l1s[0].state_of(BLK) is CS.S
+        # the remote got the dirty value
+        assert m.l1s[1].peek_word(BLK) == 1
+
+    def test_gs_survives_remote_load(self):
+        """GETS does not invalidate sharers, so a GS copy survives a
+        remote read — and the reader sees the *coherent* (stale) data."""
+        m = build_machine(3, d_distance=4)
+
+        def a():
+            yield SetAprx(4)
+            yield Load(BLK)          # E, downgraded to S by b's load
+            yield Compute(400)
+            yield Scribble(BLK, 7)   # S -> GS
+            yield Compute(600)
+
+        def b():
+            yield SetAprx(4)
+            yield Compute(200)
+            yield Load(BLK)          # makes a's copy S
+            yield Compute(800)
+
+        def c():
+            yield SetAprx(4)
+            yield Compute(700)       # after a's scribble
+            yield Load(BLK)          # remote read while a is in GS
+            yield Compute(100)
+
+        run_scripts(m, a(), b(), c())
+        assert m.l1s[0].state_of(BLK) is CS.GS
+        assert m.l1s[0].peek_word(BLK) == 7       # local hidden value
+        assert m.l1s[2].peek_word(BLK) == 0       # global view
+
+    def test_gi_survives_remote_load(self):
+        m = build_machine(3, d_distance=4, gi_timeout=100000)
+
+        def a():  # ends in GI
+            yield SetAprx(4)
+            yield Store(BLK, 3)
+            yield Compute(300)
+            yield Scribble(BLK, 5)
+            yield Compute(800)
+
+        def b():  # conventional owner-taker
+            yield SetAprx(4)
+            yield Compute(100)
+            yield Store(BLK + 4, 1)
+            yield Compute(900)
+
+        def c():  # remote reader
+            yield SetAprx(4)
+            yield Compute(600)
+            yield Load(BLK)
+            yield Compute(100)
+
+        run_scripts(m, a(), b(), c())
+        assert m.l1s[0].stats.gi_serviced == 1
+        # the reader saw the coherent value 3, not the hidden 5
+        assert m.l1s[2].peek_word(BLK) == 3
+
+
+class TestRemoteWriteEffects:
+    def test_e_invalidated_by_remote_store(self):
+        m = _observer_then_remote([Load(BLK)], [Store(BLK + 4, 9)])
+        assert m.l1s[0].state_of(BLK) in (CS.I, None)
+
+    def test_m_ownership_transferred_by_remote_store(self):
+        m = _observer_then_remote([Store(BLK, 1)], [Store(BLK + 4, 9)])
+        assert m.l1s[0].state_of(BLK) is CS.I
+        assert m.l1s[1].state_of(BLK) is CS.M
+        # the new owner inherited the old owner's word
+        assert m.l1s[1].peek_word(BLK) == 1
+
+    def test_s_invalidated_by_remote_store(self):
+        m = _observer_then_remote(
+            [Load(BLK)],
+            [Load(BLK), Compute(50), Store(BLK + 4, 9)],
+        )
+        assert m.l1s[0].state_of(BLK) is CS.I
+
+
+class TestScribbleIsAStoreToTheDirectory:
+    def test_dissimilar_scribble_invalidates_remote_gs(self):
+        """A failing scribble's conventional fallback must invalidate
+        other approximate copies exactly like a store would."""
+        m = build_machine(2, d_distance=4)
+
+        def a():
+            yield SetAprx(4)
+            yield Load(BLK)
+            yield Compute(200)
+            yield Scribble(BLK, 7)       # GS
+            yield Compute(600)
+
+        def b():
+            yield SetAprx(4)
+            yield Compute(100)
+            yield Load(BLK + 4)
+            yield Compute(300)
+            yield Scribble(BLK + 4, 1 << 20)  # dissimilar: UPGRADE
+            yield Compute(300)
+
+        run_scripts(m, a(), b())
+        assert m.l1s[0].state_of(BLK) is CS.I    # GS dropped
+        assert m.l1s[1].state_of(BLK) is CS.M

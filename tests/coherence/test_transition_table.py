@@ -1,0 +1,134 @@
+"""Conformance: the simulator follows the declarative Fig. 3 table.
+
+For every local-access row of :data:`TRANSITIONS`, a scenario drives one
+L1 into the source state, applies the event, and checks the observed
+next state against the table.  (Remote-event and eviction rows are
+covered by test_state_machine / test_fig3_matrix / test_l1_behaviour;
+here the focus is the exhaustive local-access matrix.)
+"""
+import pytest
+
+from repro.coherence.transitions import (
+    Event, TRANSITIONS, next_state, render_fig3,
+)
+from repro.common.types import CoherenceState as CS
+from repro.isa.instructions import Compute, Load, Scribble, SetAprx, Store
+
+from tests.conftest import build_machine, run_scripts
+
+BLK = 0x4000
+
+_LOCAL_EVENTS = {
+    Event.LOAD, Event.STORE, Event.SCRIBBLE_SIMILAR,
+    Event.SCRIBBLE_DISSIMILAR,
+}
+
+_SIMILAR = 0x5        # vs resident 0x3: d-distance 3, passes d=4
+_DISSIMILAR = 1 << 20
+
+
+def _event_op(event: Event):
+    if event is Event.LOAD:
+        return Load(BLK)
+    if event is Event.STORE:
+        return Store(BLK, _SIMILAR)
+    if event is Event.SCRIBBLE_SIMILAR:
+        return Scribble(BLK, _SIMILAR)
+    return Scribble(BLK, _DISSIMILAR)
+
+
+def _setup_ops(state: CS):
+    """Local-core op sequence that leaves BLK in ``state`` (with help
+    from a remote core at fixed delays)."""
+    if state is CS.I:     # tag present, invalid (remote GETX at ~300)
+        return [Store(BLK, 0x3), Compute(600)]
+    if state is CS.S:     # remote load at ~300 downgrades us
+        return [Store(BLK, 0x3), Compute(600)]
+    if state is CS.E:
+        return [Load(BLK), Compute(600)]
+    if state is CS.M:
+        return [Store(BLK, 0x3), Compute(600)]
+    if state is CS.GS:    # S first, then a similar scribble
+        return [Store(BLK, 0x3), Compute(600), Scribble(BLK, 0x3)]
+    if state is CS.GI:    # invalidated, then a similar scribble
+        return [Store(BLK, 0x3), Compute(600), Scribble(BLK, 0x1)]
+    raise AssertionError(state)
+
+
+def _remote_ops(state: CS):
+    if state in (CS.I, CS.GI):
+        return [Compute(300), Store(BLK + 4, 0x1), Compute(700)]
+    if state in (CS.S, CS.GS):
+        return [Compute(300), Load(BLK + 4), Compute(700)]
+    return [Compute(5), Compute(1000)]  # E/M: remote stays away
+
+
+_CASES = [t for t in TRANSITIONS if t.event in _LOCAL_EVENTS]
+
+
+@pytest.mark.parametrize(
+    "row", _CASES,
+    ids=[f"{t.state.value}-{t.event.name}" for t in _CASES],
+)
+def test_local_access_transitions(row):
+    m = build_machine(2, d_distance=4, gi_timeout=100_000)
+    observed = {}
+
+    def local():
+        yield SetAprx(4)
+        for op in _setup_ops(row.state):
+            yield op
+        assert m.l1s[0].state_of(BLK) is row.state, (
+            f"setup reached {m.l1s[0].state_of(BLK)}, wanted {row.state}"
+        )
+        yield _event_op(row.event)
+        observed["state"] = m.l1s[0].state_of(BLK)
+        yield Compute(10)
+
+    def remote():
+        yield SetAprx(4)
+        for op in _remote_ops(row.state):
+            yield op
+
+    run_scripts(m, local(), remote())
+    got = observed["state"]
+    want = row.next_state
+    # conventional-store/fallback rows complete through a transient
+    # state; the observed state right after the access may still be the
+    # transient or already the final state
+    if want in (CS.M, CS.S):
+        assert got in (want, CS.SM_D, CS.IM_D, CS.IS_D), (
+            f"{row}: observed {got}"
+        )
+        # after quiescence the final state must match
+        final = m.l1s[0].state_of(BLK)
+        assert final is want or final is None
+    else:
+        assert got is want, f"{row}: observed {got}"
+
+
+class TestTableShape:
+    def test_every_stable_state_covered(self):
+        states = {t.state for t in TRANSITIONS}
+        assert states == {CS.I, CS.S, CS.E, CS.M, CS.GS, CS.GI}
+
+    def test_no_duplicate_rows(self):
+        keys = [(t.state, t.event) for t in TRANSITIONS]
+        assert len(keys) == len(set(keys))
+
+    def test_next_state_lookup(self):
+        t = next_state(CS.S, Event.SCRIBBLE_SIMILAR)
+        assert t is not None and t.next_state is CS.GS
+        assert next_state(CS.E, Event.GI_TIMEOUT) is None
+
+    def test_approximate_states_never_publish_on_exit_events(self):
+        """Every GS/GI exit except the scribble fallback forfeits data."""
+        for t in TRANSITIONS:
+            if t.state in (CS.GS, CS.GI) and t.next_state is CS.I:
+                assert "forfeit" in t.action
+
+    def test_render_fig3(self):
+        out = render_fig3()
+        assert "Fig. 3" in out
+        for s in ("[I]", "[S]", "[E]", "[M]", "[GS]", "[GI]"):
+            assert s in out

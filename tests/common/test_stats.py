@@ -1,0 +1,81 @@
+"""Unit tests for repro.common.stats."""
+import pytest
+
+from repro.common.stats import HistogramStat, StatGroup
+
+
+class TestStatGroup:
+    def test_auto_init_counters(self):
+        g = StatGroup("g")
+        assert g.hits == 0
+        g.hits += 3
+        assert g.hits == 3
+
+    def test_children_nest(self):
+        g = StatGroup("root")
+        g.child("a").x = 1
+        g.child("a").x += 1
+        assert g.child("a").x == 2
+
+    def test_flatten(self):
+        g = StatGroup("")
+        g.top = 5
+        g.child("l1").child("c0").hits = 7
+        flat = g.flatten()
+        assert flat["top"] == 5
+        assert flat["l1.c0.hits"] == 7
+
+    def test_merge(self):
+        a = StatGroup("x")
+        b = StatGroup("x")
+        a.n = 1
+        b.n = 2
+        a.child("k").m = 10
+        b.child("k").m = 5
+        a.merge(b)
+        assert a.n == 3
+        assert a.child("k").m == 15
+
+    def test_total_across_children(self):
+        g = StatGroup("root")
+        g.child("a").hits = 2
+        g.child("b").hits = 3
+        g.hits = 1
+        assert g.total("hits") == 6
+
+    def test_histogram_type_guard(self):
+        g = StatGroup("g")
+        g.n = 1
+        with pytest.raises(TypeError):
+            g.histogram("n")
+
+    def test_histogram_flatten(self):
+        g = StatGroup("g")
+        g.histogram("h").add(3, 2)
+        assert g.flatten()["g.h"] == {3: 2}
+
+
+class TestHistogramStat:
+    def test_add_and_total(self):
+        h = HistogramStat()
+        h.add(0, 5)
+        h.add(4)
+        assert h.total() == 6
+
+    def test_cdf(self):
+        h = HistogramStat()
+        h.add(0, 2)
+        h.add(2, 2)
+        cdf = h.cdf(4)
+        assert cdf == [0.5, 0.5, 1.0, 1.0, 1.0]
+
+    def test_cdf_empty(self):
+        assert HistogramStat().cdf(2) == [0.0, 0.0, 0.0]
+
+    def test_merge(self):
+        a, b = HistogramStat(), HistogramStat()
+        a.add(1)
+        b.add(1, 2)
+        b.add(9)
+        a.merge(b)
+        assert a.as_dict() == {1: 3, 9: 1}

@@ -1,0 +1,65 @@
+"""Unit tests for the CACTI-like and DSENT-like energy models."""
+import pytest
+
+from repro.common.config import CacheConfig, DramConfig, NocConfig
+from repro.energy.cacti import CacheEnergyModel, DramEnergyModel
+from repro.energy.dsent import NocEnergyModel
+
+
+class TestCacheEnergy:
+    def test_larger_cache_costs_more(self):
+        small = CacheEnergyModel.from_config(CacheConfig(32 * 1024, 2))
+        big = CacheEnergyModel.from_config(CacheConfig(128 * 1024, 2))
+        assert big.read_pj > small.read_pj
+
+    def test_higher_associativity_costs_more(self):
+        low = CacheEnergyModel.from_config(CacheConfig(32 * 1024, 2))
+        high = CacheEnergyModel.from_config(CacheConfig(32 * 1024, 8))
+        assert high.read_pj > low.read_pj
+
+    def test_writes_cost_more_than_reads(self):
+        m = CacheEnergyModel.from_config(CacheConfig(32 * 1024, 2))
+        assert m.write_pj > m.read_pj
+
+    def test_magnitudes_plausible(self):
+        """Anchored near published CACTI numbers (pJ scale)."""
+        l1 = CacheEnergyModel.from_config(CacheConfig(32 * 1024, 2))
+        assert 5.0 < l1.read_pj < 100.0
+        l2 = CacheEnergyModel.from_config(CacheConfig(128 * 1024, 8))
+        assert l2.read_pj > l1.read_pj
+
+    def test_linear_accounting(self):
+        m = CacheEnergyModel.from_config(CacheConfig(32 * 1024, 2))
+        assert m.access_energy_pj(10, 0) == pytest.approx(10 * m.read_pj)
+        assert m.access_energy_pj(0, 3) == pytest.approx(3 * m.write_pj)
+        assert m.access_energy_pj(2, 2, 5) == pytest.approx(
+            2 * m.read_pj + 2 * m.write_pj + 5 * m.tag_probe_pj
+        )
+
+
+class TestDramEnergy:
+    def test_dram_orders_of_magnitude_above_sram(self):
+        dram = DramEnergyModel.from_config(DramConfig())
+        l1 = CacheEnergyModel.from_config(CacheConfig(32 * 1024, 2))
+        assert dram.read_pj > 100 * l1.read_pj
+
+    def test_accounting(self):
+        m = DramEnergyModel.from_config(DramConfig())
+        assert m.access_energy_pj(2, 1) == pytest.approx(
+            2 * m.read_pj + m.write_pj
+        )
+
+
+class TestNocEnergy:
+    def test_energy_scales_with_traffic(self):
+        m = NocEnergyModel.from_config(NocConfig())
+        assert m.energy_pj(100, 50) > m.energy_pj(10, 5)
+
+    def test_wider_flits_cost_more(self):
+        narrow = NocEnergyModel.from_config(NocConfig(flit_bytes=16))
+        wide = NocEnergyModel.from_config(NocConfig(flit_bytes=32))
+        assert wide.router_pj_per_flit > narrow.router_pj_per_flit
+
+    def test_zero_traffic_zero_energy(self):
+        m = NocEnergyModel.from_config(NocConfig())
+        assert m.energy_pj(0, 0) == 0.0

@@ -1,0 +1,48 @@
+"""Tests for the d-distance auto-tuner."""
+import pytest
+
+from repro.harness.autotune import tune_d_distance
+
+_KW = dict(num_threads=4, scale=1.0, n_points=256, max_value=7, seed=3)
+
+
+class TestAutotune:
+    def test_zero_target_chooses_exact_setting(self):
+        res = tune_d_distance("bad_dot_product", 0.0,
+                              d_candidates=(2, 4, 8), **_KW)
+        # whatever it picks must actually meet the target
+        assert res.chosen_row.error_pct <= 0.0
+        assert res.chosen_d in (0, 2, 4, 8)
+
+    def test_loose_target_picks_largest_d(self):
+        res = tune_d_distance("bad_dot_product", 100.0,
+                              d_candidates=(2, 4, 8), **_KW)
+        assert res.chosen_d == 8
+
+    def test_chosen_setting_meets_target(self):
+        target = 1.0
+        res = tune_d_distance("bad_dot_product", target,
+                              d_candidates=(1, 2, 4, 8, 16), **_KW)
+        assert res.chosen_row.error_pct <= target
+        # and the next-larger candidate (if probed) violated it, or the
+        # chosen one is the max candidate
+        assert res.chosen_d <= 16
+
+    def test_binary_search_probe_count(self):
+        res = tune_d_distance("bad_dot_product", 100.0,
+                              d_candidates=(1, 2, 4, 8, 12, 16), **_KW)
+        # log2(6) ~ 3 probes, certainly fewer than exhaustive
+        assert len(res.evaluations) <= 3
+
+    def test_render(self):
+        res = tune_d_distance("bad_dot_product", 100.0,
+                              d_candidates=(4,), **_KW)
+        out = res.render()
+        assert "auto-tune" in out and "chose d=" in out
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            tune_d_distance("bad_dot_product", -1.0, **_KW)
+        with pytest.raises(ValueError):
+            tune_d_distance("bad_dot_product", 1.0, d_candidates=(0,),
+                            **_KW)

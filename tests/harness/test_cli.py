@@ -1,0 +1,28 @@
+"""Tests for the command-line interface."""
+import pytest
+
+from repro.harness.cli import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "[table1:" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2", "--threads", "4"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_fig12_small(self, capsys):
+        assert main(["fig12", "--threads", "4"]) == 0
+        assert "Fig. 12" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_fig10_small_machine(self, capsys):
+        assert main(["fig10", "--threads", "4", "--scale", "0.1"]) == 0
+        assert "Fig. 10" in capsys.readouterr().out

@@ -1,0 +1,61 @@
+"""Tests for the sweep helpers."""
+import pytest
+
+from repro.harness.experiment import RunRow
+from repro.harness.sweeps import (
+    SweepResult, sweep_d_distance, sweep_gi_timeout, sweep_threads,
+)
+
+
+class TestSweepResult:
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            SweepResult("x", (1, 2), ())
+
+
+class TestDDistanceSweep:
+    def test_curve_shapes(self):
+        res = sweep_d_distance(
+            "bad_dot_product", d_values=(0, 4, 8), num_threads=4,
+            scale=1.0, n_points=256, max_value=7,
+        )
+        assert res.parameter == "d_distance"
+        assert len(res.rows) == 3
+        assert res.rows[0].error_pct == 0.0     # d=0 exact
+        # utilization monotone
+        gs = res.series("gs_serviced_pct")
+        assert gs[2] >= gs[1] >= gs[0]
+        assert "sweep over d_distance" in res.render()
+
+    def test_speedups_vs_first(self):
+        res = sweep_d_distance("bad_dot_product", d_values=(0, 8),
+                               num_threads=4, scale=1.0, n_points=256,
+                               max_value=3)
+        sp = res.speedups_vs_first()
+        assert sp[0] == pytest.approx(1.0)
+        assert sp[1] >= 0.95  # never materially slower
+
+
+class TestThreadSweep:
+    def test_privatized_scales(self):
+        res = sweep_threads("private_dot_product",
+                            thread_counts=(1, 2, 4), scale=1.0,
+                            n_points=512)
+        sp = res.speedups_vs_first()
+        assert sp[0] == pytest.approx(1.0)
+        assert sp[-1] > 2.0
+
+    def test_rows_are_runrows(self):
+        res = sweep_threads("private_dot_product", thread_counts=(2,),
+                            scale=1.0, n_points=128)
+        assert isinstance(res.rows[0], RunRow)
+
+
+class TestTimeoutSweep:
+    def test_timeout_sweep_runs(self):
+        res = sweep_gi_timeout("bad_dot_product", timeouts=(128, 1024),
+                               num_threads=4, scale=1.0, n_points=256,
+                               max_value=3)
+        assert res.values == (128, 1024)
+        for row in res.rows:
+            assert row.cycles > 0

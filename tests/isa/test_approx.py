@@ -1,0 +1,85 @@
+"""Unit + property tests for the approximate-region manager."""
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.approx import ApproxManager
+
+
+class TestRegions:
+    def test_disabled_by_default(self):
+        am = ApproxManager()
+        assert not am.enabled
+        assert not am.is_approx(0x100)
+
+    def test_begin_enables_range(self):
+        am = ApproxManager()
+        am.begin(((0x100, 0x200),))
+        assert am.is_approx(0x100)
+        assert am.is_approx(0x1FC)
+        assert not am.is_approx(0x200)  # end-exclusive
+        assert not am.is_approx(0xFC)
+
+    def test_end_disables(self):
+        am = ApproxManager()
+        am.begin(((0x100, 0x200),))
+        am.end(((0x100, 0x200),))
+        assert not am.enabled
+        assert not am.is_approx(0x100)
+
+    def test_multiple_ranges(self):
+        am = ApproxManager()
+        am.begin(((0x100, 0x200), (0x400, 0x500)))
+        assert am.is_approx(0x150)
+        assert am.is_approx(0x450)
+        assert not am.is_approx(0x300)
+
+    def test_partial_end_keeps_others(self):
+        am = ApproxManager()
+        am.begin(((0x100, 0x200), (0x400, 0x500)))
+        am.end(((0x100, 0x200),))
+        assert am.enabled
+        assert not am.is_approx(0x150)
+        assert am.is_approx(0x450)
+
+    def test_end_unknown_range_raises(self):
+        am = ApproxManager()
+        am.begin(((0x100, 0x200),))
+        with pytest.raises(ValueError):
+            am.end(((0x300, 0x400),))
+
+    def test_empty_range_rejected(self):
+        am = ApproxManager()
+        with pytest.raises(ValueError):
+            am.begin(((0x100, 0x100),))
+
+    def test_hot_cache_correctness_after_end(self):
+        """The one-entry cache must not keep a removed range alive."""
+        am = ApproxManager()
+        am.begin(((0x100, 0x200),))
+        assert am.is_approx(0x150)  # primes the hot cache
+        am.end(((0x100, 0x200),))
+        assert not am.is_approx(0x150)
+
+    def test_clear(self):
+        am = ApproxManager()
+        am.begin(((0x0, 0x1000),))
+        am.clear()
+        assert not am.enabled
+        assert am.active_ranges() == []
+
+
+@given(
+    ranges=st.lists(
+        st.tuples(st.integers(0, 1000), st.integers(1, 100)).map(
+            lambda t: (t[0] * 4, t[0] * 4 + t[1] * 4)
+        ),
+        min_size=1, max_size=5,
+    ),
+    probes=st.lists(st.integers(0, 5000).map(lambda x: x * 4), max_size=30),
+)
+def test_matches_naive_interval_check(ranges, probes):
+    am = ApproxManager()
+    am.begin(tuple(ranges))
+    for addr in probes:
+        expected = any(lo <= addr < hi for lo, hi in ranges)
+        assert am.is_approx(addr) == expected

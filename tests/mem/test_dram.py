@@ -1,0 +1,65 @@
+"""Unit tests for the DRAM timing model."""
+from repro.common.config import DramConfig
+from repro.mem.dram import Dram
+from repro.sim.engine import Engine
+
+
+def _dram(latency=100, banks=2, busy=24):
+    engine = Engine()
+    cfg = DramConfig(access_latency=latency, num_banks=banks,
+                     bank_busy_cycles=busy)
+    return engine, Dram(cfg, engine, block_bytes=64)
+
+
+class TestLatency:
+    def test_single_read_latency(self):
+        engine, dram = _dram()
+        done = []
+        dram.read(0, lambda: done.append(engine.now))
+        engine.run()
+        assert done == [100]
+
+    def test_bank_conflict_queues(self):
+        engine, dram = _dram(latency=100, banks=2, busy=24)
+        done = []
+        # blocks 0 and 128 hit bank 0; 64 hits bank 1
+        dram.read(0, lambda: done.append(("a", engine.now)))
+        dram.read(128, lambda: done.append(("b", engine.now)))
+        dram.read(64, lambda: done.append(("c", engine.now)))
+        engine.run()
+        times = dict(done)
+        assert times["a"] == 100
+        assert times["b"] == 124  # waited for bank 0 busy window
+        assert times["c"] == 100  # different bank: no wait
+
+    def test_bank_frees_over_time(self):
+        engine, dram = _dram(latency=10, banks=1, busy=5)
+        done = []
+        dram.read(0, lambda: done.append(engine.now))
+        engine.schedule(50, lambda: dram.read(0, lambda: done.append(engine.now)))
+        engine.run()
+        assert done == [10, 60]  # second access sees a free bank
+
+
+class TestAccounting:
+    def test_read_write_counters(self):
+        engine, dram = _dram()
+        dram.read(0, lambda: None)
+        dram.write(64)
+        dram.write(128, lambda: None)
+        engine.run()
+        assert dram.stats.reads == 1
+        assert dram.stats.writes == 2
+
+    def test_queue_cycles_tracked(self):
+        engine, dram = _dram(banks=1, busy=30)
+        dram.read(0, lambda: None)
+        dram.read(64, lambda: None)
+        engine.run()
+        assert dram.stats.queue_cycles == 30
+
+    def test_posted_write_needs_no_callback(self):
+        engine, dram = _dram()
+        dram.write(0)
+        engine.run()  # must not raise
+        assert dram.stats.writes == 1

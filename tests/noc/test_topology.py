@@ -1,0 +1,51 @@
+"""Unit + property tests for mesh topology and XY routing."""
+from hypothesis import given, strategies as st
+
+from repro.common.config import NocConfig
+from repro.noc.topology import route_routers, validate_topology, xy_route
+
+PAPER = NocConfig(mesh_cols=6, mesh_rows=4)
+
+
+class TestXYRoute:
+    def test_self_route(self):
+        assert xy_route(PAPER, 7, 7) == [7]
+
+    def test_straight_line(self):
+        assert xy_route(PAPER, 0, 3) == [0, 1, 2, 3]
+
+    def test_x_then_y(self):
+        # 0 is (0,0); 23 is (5,3): route goes across row 0 then down col 5
+        path = xy_route(PAPER, 0, 23)
+        assert path == [0, 1, 2, 3, 4, 5, 11, 17, 23]
+
+    def test_route_length_is_hops(self):
+        for src in range(PAPER.num_nodes):
+            for dst in range(PAPER.num_nodes):
+                assert len(xy_route(PAPER, src, dst)) - 1 == PAPER.hops(src, dst)
+
+    def test_validate_paper_topology(self):
+        validate_topology(PAPER)
+
+    def test_router_traversals_include_injection(self):
+        assert route_routers(PAPER, 0, 0) == 1
+        assert route_routers(PAPER, 0, 1) == 2
+
+    @given(
+        cols=st.integers(min_value=1, max_value=8),
+        rows=st.integers(min_value=1, max_value=8),
+    )
+    def test_any_mesh_validates(self, cols, rows):
+        validate_topology(NocConfig(mesh_cols=cols, mesh_rows=rows))
+
+    @given(st.integers(min_value=0, max_value=23),
+           st.integers(min_value=0, max_value=23))
+    def test_route_endpoints(self, src, dst):
+        path = xy_route(PAPER, src, dst)
+        assert path[0] == src and path[-1] == dst
+        assert len(set(path)) == len(path)  # no loops
+
+    @given(st.integers(min_value=0, max_value=23),
+           st.integers(min_value=0, max_value=23))
+    def test_hops_symmetric(self, src, dst):
+        assert PAPER.hops(src, dst) == PAPER.hops(dst, src)

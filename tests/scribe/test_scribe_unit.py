@@ -1,0 +1,56 @@
+"""Unit tests for the scribe comparator module (paper Fig. 6)."""
+import pytest
+
+from repro.scribe.scribe_unit import ScribeUnit
+
+
+class TestProgramming:
+    def test_disabled_by_default(self):
+        su = ScribeUnit()
+        assert not su.enabled
+        assert not su.check(5, 5)  # even identical values: not enabled
+
+    def test_program_enables(self):
+        su = ScribeUnit()
+        su.program(4)
+        assert su.enabled
+        assert su.d_distance == 4
+        assert su.stats.reprograms == 1
+
+    def test_disable(self):
+        su = ScribeUnit()
+        su.program(4)
+        su.disable()
+        assert not su.check(5, 5)
+
+    def test_invalid_distance_rejected(self):
+        su = ScribeUnit()
+        with pytest.raises(ValueError):
+            su.program(33)
+        with pytest.raises(ValueError):
+            ScribeUnit(d_distance=-1)
+
+
+class TestCheck:
+    def test_pass_and_fail_counters(self):
+        su = ScribeUnit(d_distance=4, enabled=True)
+        assert su.check(0, 7)          # within 4 bits
+        assert not su.check(0, 1 << 10)
+        assert su.stats.passes == 1
+        assert su.stats.fails == 1
+
+    def test_check_boundary(self):
+        su = ScribeUnit(d_distance=4, enabled=True)
+        assert su.check(0, 15)      # d=4 window: low 4 bits free
+        assert not su.check(0, 16)  # bit 4 set -> 5-distance
+
+
+class TestObserve:
+    def test_histogram_independent_of_enable(self):
+        """Fig. 2 profiling happens irrespective of coherence state or
+        the approximation being active."""
+        su = ScribeUnit()  # disabled
+        su.observe(5, 5)
+        su.observe(0, 255)
+        hist = su.stats.histogram("store_d_distance")
+        assert hist.as_dict() == {0: 1, 8: 1}

@@ -1,0 +1,146 @@
+"""Unit + property tests for d-distance similarity (paper §2, Fig. 6)."""
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.scribe.similarity import (
+    bits_to_float,
+    bits_to_int,
+    d_distance,
+    d_distance_array,
+    float_to_bits,
+    int_to_bits,
+    is_similar,
+    similarity_cdf,
+)
+
+words = st.integers(min_value=0, max_value=0xFFFFFFFF)
+dists = st.integers(min_value=0, max_value=32)
+
+
+class TestPaperExamples:
+    def test_124_vs_127_is_2_distance(self):
+        """Paper §2: 124 (0111_1100) vs 127 (0111_1111) differ in the two
+        LSBs -> 2-distance similar."""
+        assert d_distance(124, 127) == 2
+        assert is_similar(124, 127, 2)
+        assert not is_similar(124, 127, 1)
+
+    def test_127_vs_128_not_bitwise_similar(self):
+        """Paper §2: 127 vs 128 are arithmetically close but all 8 low bits
+        differ."""
+        assert d_distance(127, 128) == 8
+        assert not is_similar(127, 128, 7)
+
+    def test_121_vs_125_is_3_distance(self):
+        """Paper §2: 121 (1111001) vs 125 (1111101) -> 3-distance."""
+        assert d_distance(121, 125) == 3
+
+    def test_minus1_vs_0_is_32_distance(self):
+        """Paper §3.4: -1 (0xFFFFFFFF) vs 0 differ in every bit."""
+        assert d_distance(int_to_bits(-1), 0) == 32
+        assert not is_similar(int_to_bits(-1), 0, 31)
+        assert is_similar(int_to_bits(-1), 0, 32)
+
+    def test_silent_store_is_0_distance(self):
+        assert d_distance(42, 42) == 0
+        assert is_similar(42, 42, 0)
+
+
+class TestIsSimilar:
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            is_similar(0, 0, 33)
+        with pytest.raises(ValueError):
+            is_similar(0, 0, -1)
+
+    @given(a=words, b=words, d=dists)
+    def test_matches_d_distance(self, a, b, d):
+        assert is_similar(a, b, d) == (d_distance(a, b) <= d)
+
+    @given(a=words, b=words, d=dists)
+    def test_symmetric(self, a, b, d):
+        assert is_similar(a, b, d) == is_similar(b, a, d)
+
+    @given(a=words, b=words)
+    def test_monotone_in_d(self, a, b):
+        prev = False
+        for d in range(33):
+            cur = is_similar(a, b, d)
+            assert cur or not prev  # once similar, stays similar
+            prev = cur
+
+    @given(a=words, d=dists)
+    def test_reflexive(self, a, d):
+        assert is_similar(a, a, d)
+
+    @given(a=words, b=words)
+    def test_32_distance_always(self, a, b):
+        assert is_similar(a, b, 32)
+
+    @given(a=words, b=words, d=st.integers(min_value=0, max_value=31))
+    def test_definition_xor_window(self, a, b, d):
+        """d-distance similar  <=>  a ^ b < 2**d (LSB window)."""
+        assert is_similar(a, b, d) == ((a ^ b) < (1 << d))
+
+
+class TestVectorized:
+    @given(st.lists(st.tuples(words, words), min_size=1, max_size=64))
+    def test_matches_scalar(self, pairs):
+        a = np.array([p[0] for p in pairs], dtype=np.uint32)
+        b = np.array([p[1] for p in pairs], dtype=np.uint32)
+        vec = d_distance_array(a, b)
+        ref = [d_distance(int(x), int(y)) for x, y in pairs]
+        assert vec.tolist() == ref
+
+    def test_empty_cdf(self):
+        cdf = similarity_cdf(np.array([], dtype=np.int64))
+        assert cdf.shape == (33,)
+        assert np.all(cdf == 0)
+
+    def test_cdf_monotone_and_ends_at_one(self):
+        d = d_distance_array(
+            np.arange(100, dtype=np.uint32),
+            np.arange(100, dtype=np.uint32)[::-1].copy(),
+        )
+        cdf = similarity_cdf(d)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_cdf_zero_bucket_counts_silent_stores(self):
+        d = d_distance_array(
+            np.array([5, 5, 9], dtype=np.uint32),
+            np.array([5, 5, 8], dtype=np.uint32),
+        )
+        cdf = similarity_cdf(d)
+        assert cdf[0] == pytest.approx(2 / 3)
+
+
+class TestBitConversions:
+    @given(st.floats(width=32, allow_nan=False))
+    def test_float_roundtrip(self, x):
+        assert bits_to_float(float_to_bits(x)) == x
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_int_roundtrip(self, x):
+        assert bits_to_int(int_to_bits(x)) == x
+
+    def test_float_bits_are_ieee754(self):
+        assert float_to_bits(1.0) == 0x3F800000
+        assert float_to_bits(-2.0) == 0xC0000000
+
+    def test_int_overflow_rejected(self):
+        with pytest.raises(OverflowError):
+            int_to_bits(2**32)
+        with pytest.raises(OverflowError):
+            int_to_bits(-(2**31) - 1)
+
+    @given(st.floats(width=32, allow_nan=False, allow_infinity=False,
+                     min_value=1.0, max_value=2.0))
+    def test_small_d_only_touches_mantissa(self, x):
+        """Paper §3.4: small d-distances only affect the float mantissa."""
+        bits = float_to_bits(x)
+        flipped = bits ^ 0xF  # flip 4 LSBs of the mantissa
+        y = bits_to_float(flipped)
+        assert abs(y - x) < 1e-5
+        assert is_similar(bits, flipped, 4)

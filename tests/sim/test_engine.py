@@ -1,0 +1,115 @@
+"""Unit tests for the event engine."""
+import pytest
+
+from repro.sim.engine import Engine, SimulationError, SimulationTimeout
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        e = Engine()
+        order = []
+        e.schedule(10, lambda: order.append("b"))
+        e.schedule(5, lambda: order.append("a"))
+        e.schedule(20, lambda: order.append("c"))
+        e.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_cycle_fifo(self):
+        e = Engine()
+        order = []
+        for i in range(10):
+            e.schedule(7, lambda i=i: order.append(i))
+        e.run()
+        assert order == list(range(10))
+
+    def test_now_tracks_cycle(self):
+        e = Engine()
+        seen = []
+        e.schedule(3, lambda: seen.append(e.now))
+        e.schedule(9, lambda: seen.append(e.now))
+        end = e.run()
+        assert seen == [3, 9]
+        assert end == 9
+
+    def test_callbacks_can_schedule(self):
+        e = Engine()
+        seen = []
+
+        def first():
+            seen.append(e.now)
+            e.schedule(5, lambda: seen.append(e.now))
+
+        e.schedule(1, first)
+        e.run()
+        assert seen == [1, 6]
+
+    def test_negative_delay_rejected(self):
+        e = Engine()
+        with pytest.raises(ValueError):
+            e.schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        e = Engine()
+        seen = []
+        e.schedule(2, lambda: e.schedule_at(10, lambda: seen.append(e.now)))
+        e.run()
+        assert seen == [10]
+
+
+class TestRunControl:
+    def test_timeout_raises(self):
+        e = Engine()
+
+        def forever():
+            e.schedule(1, forever)
+
+        e.schedule(0, forever)
+        with pytest.raises(SimulationTimeout):
+            e.run(max_cycles=100)
+
+    def test_max_events(self):
+        e = Engine()
+
+        def forever():
+            e.schedule(0, forever)
+
+        e.schedule(0, forever)
+        with pytest.raises(SimulationTimeout):
+            e.run(max_events=50)
+
+    def test_not_reentrant(self):
+        e = Engine()
+
+        def bad():
+            e.run()
+
+        e.schedule(0, bad)
+        with pytest.raises(SimulationError):
+            e.run()
+
+    def test_run_until_stops_midway(self):
+        e = Engine()
+        seen = []
+        for t in (1, 5, 9):
+            e.schedule(t, lambda t=t: seen.append(t))
+        e.run_until(5)
+        assert seen == [1, 5]
+        assert e.pending() == 1
+        e.run()
+        assert seen == [1, 5, 9]
+
+    def test_run_until_advances_clock_when_idle(self):
+        e = Engine()
+        e.run_until(42)
+        assert e.now == 42
+
+    def test_determinism(self):
+        def trace():
+            e = Engine()
+            out = []
+            for t in (4, 4, 2, 8, 2):
+                e.schedule(t, lambda t=t: out.append((e.now, t)))
+            e.run()
+            return out
+
+        assert trace() == trace()

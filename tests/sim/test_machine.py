@@ -1,0 +1,150 @@
+"""Tests for machine assembly and its invariant checkers."""
+import pytest
+
+from repro.coherence.messages import ProtocolError
+from repro.common.config import small_config
+from repro.isa.instructions import Compute, Load, Store
+from repro.sim.engine import SimulationError
+from repro.sim.machine import Machine
+
+from tests.conftest import build_machine, run_scripts
+
+BLK = 0x4000
+
+
+class TestAssembly:
+    def test_component_counts(self):
+        m = build_machine(4)
+        assert len(m.l1s) == 4
+        assert len(m.l2_slices) == 4
+        assert set(m.agents) == set(m.cfg.noc.directory_nodes)
+        assert len(m.cores) == 4
+
+    def test_paper_machine_assembles(self):
+        from repro.common.config import default_config
+        m = Machine(default_config())
+        assert len(m.l1s) == 24
+        assert len(m.agents) == 4
+
+    def test_thread_binding_validated(self):
+        m = build_machine(2)
+        with pytest.raises(ValueError):
+            m.add_thread(5, iter(()))
+
+    def test_run_requires_threads(self):
+        m = build_machine(2)
+        with pytest.raises(SimulationError):
+            m.run()
+
+    def test_run_once_only(self):
+        m = build_machine(1)
+
+        def prog():
+            yield Compute(1)
+
+        m.add_thread(0, prog())
+        m.run()
+        with pytest.raises(SimulationError):
+            m.run()
+
+    def test_unfinished_core_detected(self):
+        m = build_machine(2)
+        b = m.barrier(2)
+
+        def waits_forever():
+            from repro.isa.instructions import BarrierWait
+            yield BarrierWait(b)
+
+        def finishes():
+            yield Compute(1)
+
+        m.add_thread(0, waits_forever())
+        m.add_thread(1, finishes())
+        with pytest.raises(SimulationError):
+            m.run()
+
+
+class TestInvariantChecker:
+    def test_passes_after_clean_run(self):
+        m = build_machine(2)
+
+        def a():
+            yield Store(BLK, 1)
+            yield Compute(300)
+
+        def b():
+            yield Compute(100)
+            yield Load(BLK)
+
+        run_scripts(m, a(), b())
+        m.check_coherence_invariants()
+
+    def test_detects_forged_double_owner(self):
+        m = build_machine(2)
+
+        def a():
+            yield Store(BLK, 1)
+
+        def b():
+            yield Compute(200)
+            yield Store(BLK + 0x1000, 1)
+
+        run_scripts(m, a(), b())
+        # forge a second M copy of BLK in core 1's cache
+        from repro.common.types import CoherenceState as CS
+        line = m.l1s[1].array.find_free_or_victim(BLK, lambda l: True)
+        m.l1s[1].array.install(line, BLK)
+        line.words = [0] * 16
+        line.state = CS.M
+        with pytest.raises(ProtocolError):
+            m.check_coherence_invariants()
+
+    def test_detects_untracked_sharer(self):
+        m = build_machine(2)
+
+        def a():
+            yield Compute(5)
+
+        def b():
+            yield Compute(5)
+
+        run_scripts(m, a(), b())
+        from repro.common.types import CoherenceState as CS
+        line = m.l1s[0].array.find_free_or_victim(BLK, lambda l: True)
+        m.l1s[0].array.install(line, BLK)
+        line.words = [0] * 16
+        line.state = CS.S
+        with pytest.raises(ProtocolError):
+            m.check_coherence_invariants()
+
+    def test_gi_copies_exempt_from_directory_agreement(self):
+        """GI blocks are invisible to the directory by design: the checker
+        must not flag them."""
+        from repro.isa.instructions import Scribble, SetAprx
+
+        m = build_machine(2, d_distance=4, gi_timeout=100000)
+
+        def a():
+            yield SetAprx(4)
+            yield Store(BLK, 3)
+            yield Compute(300)
+            yield Scribble(BLK, 5)   # -> GI
+            yield Compute(50)
+
+        def b():
+            yield SetAprx(4)
+            yield Compute(100)
+            yield Store(BLK + 4, 1)
+            yield Compute(600)
+
+        for cid, prog in enumerate((a(), b())):
+            m.add_thread(cid, prog)
+        # run only until cores finish; leave the GI timeout pending so the
+        # GI state is still live when we check
+        for core in m.cores:
+            core.start()
+        m._ran = True
+        m.engine.run_until(3000)
+        from repro.common.types import CoherenceState as CS
+        assert m.l1s[0].state_of(BLK) is CS.GI
+        m.check_coherence_invariants()  # must not raise

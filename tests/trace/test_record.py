@@ -1,0 +1,94 @@
+"""Tests for trace recording and persistence."""
+import numpy as np
+import pytest
+
+from repro.common.types import AccessType
+from repro.isa.instructions import Compute, Load, Scribble, SetAprx, Store
+from repro.trace.record import Trace, TraceRecorder
+
+from tests.conftest import build_machine, run_scripts
+
+BLK = 0x4000
+
+
+def _recorded_machine():
+    m = build_machine(2, d_distance=4)
+    rec = TraceRecorder(m)
+
+    def a():
+        yield SetAprx(4)
+        yield Store(BLK, 3)
+        yield Load(BLK)
+        yield Compute(50)
+        yield Scribble(BLK, 5)
+
+    def b():
+        yield Compute(100)
+        yield Load(BLK + 4)
+
+    run_scripts(m, a(), b())
+    return m, rec
+
+
+class TestRecorder:
+    def test_captures_all_accesses(self):
+        _m, rec = _recorded_machine()
+        trace = rec.trace()
+        assert len(trace) == 4  # 3 from core 0, 1 from core 1
+
+    def test_columns_consistent(self):
+        _m, rec = _recorded_machine()
+        t = rec.trace()
+        assert set(t.cores.tolist()) == {0, 1}
+        c0 = t.for_core(0)  # program order within a core is preserved
+        assert c0.atype_of(0) is AccessType.STORE
+        assert c0.atype_of(1) is AccessType.LOAD
+        assert c0.atype_of(2) is AccessType.SCRIBBLE
+        assert np.all(t.blocks() % 64 == 0)
+
+    def test_hit_miss_recorded(self):
+        _m, rec = _recorded_machine()
+        t = rec.trace()
+        assert not t.hits[0]   # first store misses
+        assert t.hits[1]       # load after fill hits
+        assert 0.0 < t.miss_rate() < 1.0
+
+    def test_for_core_filters(self):
+        _m, rec = _recorded_machine()
+        t = rec.trace().for_core(1)
+        assert len(t) == 1
+        assert t.atype_of(0) is AccessType.LOAD
+
+    def test_double_attach_rejected(self):
+        m = build_machine(1)
+        TraceRecorder(m)
+        with pytest.raises(RuntimeError):
+            TraceRecorder(m)
+
+    def test_detach_stops_recording(self):
+        m = build_machine(1)
+        rec = TraceRecorder(m)
+        rec.detach()
+
+        def prog():
+            yield Store(BLK, 1)
+
+        run_scripts(m, prog())
+        assert len(rec) == 0
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        _m, rec = _recorded_machine()
+        t = rec.trace()
+        path = tmp_path / "trace.npz"
+        t.save(path)
+        t2 = Trace.load(path)
+        assert len(t2) == len(t)
+        assert np.array_equal(t2.addrs, t.addrs)
+        assert np.array_equal(t2.hits, t.hits)
+        assert t2.block_bytes == t.block_bytes
+
+    def test_column_length_validation(self):
+        with pytest.raises(ValueError):
+            Trace([1, 2], [0], [0, 0], [0, 0], [0, 0], [True, True])

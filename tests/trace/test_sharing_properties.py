@@ -1,0 +1,62 @@
+"""Property tests: the sharing classifier vs a brute-force oracle."""
+from hypothesis import given, strategies as st
+
+from repro.trace.record import Trace
+from repro.trace.sharing import SharingPattern, classify_trace
+
+BLK = 0x4000
+
+access = st.tuples(
+    st.integers(0, 3),            # core
+    st.booleans(),                # write?
+    st.integers(0, 3),            # word within the one block
+)
+
+
+def _trace(rows):
+    return Trace(
+        list(range(len(rows))),
+        [r[0] for r in rows],
+        [1 if r[1] else 0 for r in rows],
+        [BLK + 4 * r[2] for r in rows],
+        [0] * len(rows),
+        [True] * len(rows),
+    )
+
+
+def _oracle(rows):
+    """Brute-force classification of the single block."""
+    touchers = {c for c, _w, _a in rows}
+    writers = {c for c, w, _a in rows if w}
+    if len(touchers) <= 1:
+        return SharingPattern.PRIVATE
+    word_writers: dict[int, set[int]] = {}
+    for c, w, a in rows:
+        if w:
+            word_writers.setdefault(a, set()).add(c)
+    true_shared = any(len(cs) > 1 for cs in word_writers.values())
+    owners = {next(iter(cs)) for cs in word_writers.values()
+              if len(cs) == 1}
+    false_shared = len(writers) > 1 and len(owners) > 1
+    if true_shared and false_shared:
+        return SharingPattern.MIXED
+    if true_shared:
+        return SharingPattern.TRUE_SHARED
+    if false_shared:
+        return SharingPattern.FALSE_SHARED
+    return SharingPattern.READ_SHARED
+
+
+@given(st.lists(access, min_size=1, max_size=40))
+def test_classifier_matches_oracle(rows):
+    reports = classify_trace(_trace(rows))
+    assert reports[BLK].pattern is _oracle(rows)
+
+
+@given(st.lists(access, min_size=1, max_size=40))
+def test_counts_consistent(rows):
+    rep = classify_trace(_trace(rows))[BLK]
+    assert rep.accesses == len(rows)
+    assert rep.writes == sum(1 for r in rows if r[1])
+    assert 0 <= rep.write_interleavings <= max(rep.writes - 1, 0)
+    assert 0.0 <= rep.contention_score <= 1.0

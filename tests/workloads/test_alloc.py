@@ -1,0 +1,107 @@
+"""Unit + property tests for the shared-memory allocator and views."""
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.backing import BackingStore
+from repro.workloads.alloc import SharedMemory
+
+
+def _mem():
+    return SharedMemory(BackingStore(64), 64)
+
+
+class TestAllocator:
+    def test_packed_allocations_share_blocks(self):
+        mem = _mem()
+        a = mem.alloc_i32(3, "a")
+        b = mem.alloc_i32(3, "b")
+        # packed: b starts right after a, same cache block
+        assert b.base == a.base + 12
+        assert a.base // 64 == b.base // 64
+
+    def test_padded_allocation_isolated(self):
+        mem = _mem()
+        a = mem.alloc_i32(3, "a", pad_to_block=True)
+        b = mem.alloc_i32(3, "b", pad_to_block=True)
+        assert a.base % 64 == 0
+        assert b.base % 64 == 0
+        assert b.base >= a.base + 64
+
+    def test_block_gap(self):
+        mem = _mem()
+        mem.alloc_i32(1, "a")
+        mem.block_gap()
+        b = mem.alloc_i32(1, "b")
+        assert b.base % 64 == 0
+
+    def test_init_values_land_in_backing(self):
+        mem = _mem()
+        arr = mem.alloc_i32(4, "a", init=[1, -2, 3, 4])
+        assert arr.read_back() == [1, -2, 3, 4]
+
+    def test_too_many_initializers(self):
+        mem = _mem()
+        arr = mem.alloc_i32(2, "a")
+        with pytest.raises(ValueError):
+            arr.init([1, 2, 3])
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            _mem().alloc_i32(0, "a")
+
+    def test_allocations_tracked(self):
+        mem = _mem()
+        mem.alloc_i32(4, "x")
+        mem.alloc_f32(4, "y")
+        names = [a[0] for a in mem.allocations()]
+        assert names == ["x", "y"]
+
+
+class TestTypedViews:
+    def test_index_bounds(self):
+        arr = _mem().alloc_i32(4, "a")
+        with pytest.raises(IndexError):
+            arr.addr(4)
+        with pytest.raises(IndexError):
+            arr.addr(-1)
+
+    def test_byte_range(self):
+        mem = _mem()
+        arr = mem.alloc_i32(4, "a")
+        start, end = arr.byte_range()
+        assert end - start == 16
+        assert start == arr.base
+
+    @given(st.lists(st.integers(-(2**31), 2**31 - 1), min_size=1,
+                    max_size=32))
+    def test_i32_roundtrip_via_backing(self, values):
+        mem = _mem()
+        arr = mem.alloc_i32(len(values), "a", init=values)
+        assert arr.read_back() == values
+
+    @given(st.lists(st.floats(width=32, allow_nan=False), min_size=1,
+                    max_size=32))
+    def test_f32_roundtrip_via_backing(self, values):
+        mem = _mem()
+        arr = mem.alloc_f32(len(values), "a", init=values)
+        back = arr.read_back()
+        assert all(a == b for a, b in zip(back, values))
+
+    def test_generator_accessors_emit_ops(self):
+        """The load/store helpers are generators yielding ISA ops."""
+        from repro.isa.instructions import Load, Store
+        arr = _mem().alloc_i32(4, "a")
+        gen = arr.store(1, -5)
+        op = next(gen)
+        assert isinstance(op, Store)
+        assert op.addr == arr.addr(1)
+        assert op.value == (-5) & 0xFFFFFFFF
+        with pytest.raises(StopIteration):
+            gen.send(None)
+
+        gen = arr.load(2)
+        op = next(gen)
+        assert isinstance(op, Load)
+        with pytest.raises(StopIteration) as exc:
+            gen.send(0xFFFFFFFF)  # bits of -1
+        assert exc.value.value == -1  # signed interpretation

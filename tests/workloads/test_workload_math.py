@@ -1,0 +1,120 @@
+"""Domain-math verification of the workload kernels.
+
+The workloads are only faithful if their *computations* are right, not
+just their memory traffic: DCT invertibility, option-price bounds,
+kinematics consistency, regression recovery, covariance equivalence.
+"""
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads import jpeg as J
+from repro.workloads.blackscholes import _bs_price, _cnd
+from repro.workloads.inversek2j import _ik, _L1, _L2
+from repro.workloads.linear_regression import LinearRegression
+from repro.workloads.pca import Pca
+
+
+class TestJpegMath:
+    def test_dct_is_orthonormal(self):
+        m = J._dct_matrix()
+        assert np.allclose(m @ m.T, np.eye(8), atol=1e-12)
+
+    def test_idct_inverts_dct(self):
+        rng = np.random.default_rng(0)
+        tile = rng.uniform(0, 255, (8, 8))
+        assert np.allclose(J.idct2(J.dct2(tile)), tile, atol=1e-9)
+
+    def test_quantization_error_bounded(self):
+        rng = np.random.default_rng(1)
+        tile = rng.uniform(0, 255, (8, 8))
+        coefs = J.dct2(tile)
+        recon = J.dequantize(J.quantize(coefs))
+        assert np.all(np.abs(recon - coefs) <= J._QTABLE / 2 + 1e-9)
+
+    def test_flat_tile_compresses_to_dc(self):
+        tile = np.full((8, 8), 128.0)
+        q = J.quantize(J.dct2(tile))
+        assert q[0, 0] != 0
+        assert np.count_nonzero(q) == 1
+
+
+class TestBlackScholesMath:
+    def test_cnd_is_a_cdf(self):
+        assert _cnd(0.0) == pytest.approx(0.5, abs=1e-6)
+        assert _cnd(-8.0) < 1e-6
+        assert _cnd(8.0) > 1 - 1e-6
+
+    @given(st.floats(20, 120), st.floats(20, 120), st.floats(0.1, 2.0),
+           st.floats(0.1, 0.6))
+    def test_price_bounds(self, s, k, t, sigma):
+        price = _bs_price(s, k, t, sigma)
+        # a European call is worth at least discounted intrinsic value
+        # and never more than the spot
+        intrinsic = max(s - k * math.exp(-0.02 * t), 0.0)
+        assert price >= intrinsic - 1e-6
+        assert price <= s + 1e-9
+
+    def test_monotone_in_volatility(self):
+        lo = _bs_price(100, 100, 1.0, 0.1)
+        hi = _bs_price(100, 100, 1.0, 0.6)
+        assert hi > lo
+
+    def test_expired_option_is_intrinsic(self):
+        assert _bs_price(120, 100, 0.0, 0.3) == pytest.approx(20.0)
+
+
+class TestInverseKinematicsMath:
+    @given(st.floats(0.05, 0.95), st.floats(0, 2 * math.pi))
+    def test_forward_recovers_reachable_targets(self, r, phi):
+        x, y = r * math.cos(phi), r * math.sin(phi)
+        th1, th2 = _ik(x, y)
+        fx = _L1 * math.cos(th1) + _L2 * math.cos(th1 + th2)
+        fy = _L1 * math.sin(th1) + _L2 * math.sin(th1 + th2)
+        assert math.hypot(fx - x, fy - y) < 1e-9
+
+    def test_unreachable_target_clamps_elbow(self):
+        th1, th2 = _ik(2.0, 0.0)
+        assert th2 == pytest.approx(0.0)
+        assert th1 == pytest.approx(0.0)
+
+
+class TestLinearRegressionMath:
+    def test_fit_recovers_known_line(self):
+        xs = np.arange(100, dtype=float)
+        ys = 3.0 * xs + 7.0
+        n = len(xs)
+        slope, intercept = LinearRegression._fit(
+            n, xs.sum(), ys.sum(), (xs * xs).sum(), (ys * ys).sum(),
+            (xs * ys).sum(),
+        )
+        assert slope == pytest.approx(3.0)
+        assert intercept == pytest.approx(7.0)
+
+    def test_degenerate_denominator(self):
+        # all x identical: slope undefined -> (0, 0) guard
+        assert LinearRegression._fit(3, 6, 9, 12, 29, 18) == (0.0, 0.0)
+
+    def test_reference_consistent_with_numpy(self):
+        w = LinearRegression(num_threads=4, scale=0.1)
+        ref = w.reference_output()
+        x, y = w.x_vals.astype(float), w.y_vals.astype(float)
+        slope_np, icept_np = np.polyfit(x, y, 1)
+        assert ref[5] == pytest.approx(slope_np, rel=1e-9)
+        assert ref[6] == pytest.approx(icept_np, rel=1e-9)
+
+
+class TestPcaMath:
+    def test_reference_matches_numpy_band(self):
+        w = Pca(num_threads=4, scale=0.25)
+        ref = np.asarray(w.reference_output())
+        means = ref[:w.n_rows]
+        np_means = w.matrix.sum(axis=1) // w.n_cols
+        assert np.array_equal(means, np_means.astype(float))
+        # spot-check the r=0,k=0 covariance entry (variance of row 0)
+        cov00 = ref[w.n_rows]
+        m0 = int(np_means[0])
+        expected = int(((w.matrix[0] - m0) ** 2).sum()) // w.n_cols
+        assert cov00 == float(expected)

@@ -84,6 +84,13 @@ class L1Controller:
         #: optional observer of every access:
         #: fn(cycle, node, atype, addr, value, hit)
         self.access_hook: Callable[..., None] | None = None
+        #: optional observer of conventional-store commits:
+        #: fn(block, words) is called whenever this L1 becomes the unique
+        #: M copy with new data (store hit on E/M, fill+store, upgrade
+        #: grant) — at that instant ``words`` *are* the globally coherent
+        #: values (SWMR), which is what feeds the golden reference memory
+        #: of the runtime invariant monitor (repro.verify).
+        self.commit_hook: Callable[[int, list[int]], None] | None = None
 
     # ------------------------------------------------------------------
     # helpers
@@ -108,6 +115,12 @@ class L1Controller:
 
     def _home(self, block: int) -> int:
         return self.cfg.home_directory(block)
+
+    def _commit(self, line: CacheLine) -> None:
+        """Publish a line's words to the commit observer (if any)."""
+        hook = self.commit_hook
+        if hook is not None:
+            hook(line.tag, line.words)
 
     # ------------------------------------------------------------------
     # core-facing interface
@@ -185,10 +198,12 @@ class L1Controller:
             if state is _S.E:
                 line.words[off] = value
                 self._set_state(line, _S.M, "store hit on E")
+                self._commit(line)
                 st.store_hits += 1
                 return True, None
             if state is _S.M:
                 line.words[off] = value
+                self._commit(line)
                 st.store_hits += 1
                 return True, None
             if state is _S.GS or state is _S.GI:
@@ -484,6 +499,7 @@ class L1Controller:
             # directory after our S copy was invalidated mid-flight.
             line.words[off] = entry.value
             self._set_state(line, _S.M, "fill + store")
+            self._commit(line)
             result = None
         line.pinned = False
         self.mshrs.retire(block)
@@ -504,6 +520,9 @@ class L1Controller:
             off = self._word_off(entry.addr)
             line.words[off] = entry.value
             self._set_state(line, _S.M, "upgrade granted")
+            # an UPGRADE grant from a divergent GS copy publishes the
+            # whole locally-modified block, so commit all of it
+            self._commit(line)
             line.pinned = False
             self.mshrs.retire(block)
             self.stats.miss_latency_cycles += self.engine.now - entry.issued_at
@@ -712,3 +731,8 @@ class L1Controller:
     def quiescent(self) -> bool:
         """True when no transactions or writebacks are outstanding."""
         return self.mshrs.outstanding() == 0 and not self._wb_buffer
+
+    def wb_buffer_snapshot(self) -> dict[int, int]:
+        """Blocks parked in the write-back buffer -> entry count (for the
+        watchdog's diagnostic dump and the invariant monitor's skip set)."""
+        return {block: len(q) for block, q in self._wb_buffer.items()}

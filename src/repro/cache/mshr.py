@@ -94,5 +94,9 @@ class MshrFile:
         """Number of in-flight transactions."""
         return len(self._entries)
 
+    def entries(self) -> list[MshrEntry]:
+        """All in-flight entries (for diagnostics and invariant checks)."""
+        return list(self._entries.values())
+
     def __contains__(self, block_addr: int) -> bool:
         return block_addr in self._entries

@@ -478,3 +478,11 @@ class DirectoryAgent:
     def entries_snapshot(self) -> dict[int, DirEntry]:
         """Shallow copy of the entry map (for invariant checking)."""
         return dict(self._entries)
+
+    def busy_entries(self) -> dict[int, DirEntry]:
+        """Blocks with an active or queued transaction (for the watchdog
+        dump and the runtime monitor's skip set)."""
+        return {
+            block: e for block, e in self._entries.items()
+            if e.busy or e.pending
+        }

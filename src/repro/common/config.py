@@ -16,6 +16,8 @@ __all__ = [
     "NocConfig",
     "DramConfig",
     "GhostwriterConfig",
+    "VerifyConfig",
+    "FaultConfig",
     "SimConfig",
     "table1_rows",
 ]
@@ -187,6 +189,81 @@ class GhostwriterConfig:
 
 
 @dataclass(frozen=True, slots=True)
+class VerifyConfig:
+    """Knobs of the verification layer (:mod:`repro.verify`)."""
+
+    #: Run ``check_quiescent()`` + ``check_coherence_invariants()`` at the
+    #: end of every harness run (``Workload.run``).
+    check_invariants: bool = True
+    #: Cycle period of the *runtime* invariant monitor; 0 disables it.
+    #: When enabled the monitor re-checks SWMR / directory agreement on
+    #: every quiescent block while the simulation is still running.
+    monitor_period: int = 0
+    #: Also check coherent (non-GS/GI) cache lines word-by-word against
+    #: the golden reference memory on every monitor pass.
+    check_values: bool = True
+    #: Polling interval of the progress watchdog, in cycles; 0 disables
+    #: it.  The watchdog replaces the blind ``max_cycles`` abort: if no
+    #: core retires work for ``watchdog_stalls`` consecutive intervals it
+    #: raises :class:`repro.verify.DeadlockError` with a diagnostic dump.
+    watchdog_interval: int = 0
+    #: Consecutive no-progress intervals tolerated before raising.
+    watchdog_stalls: int = 2
+
+    def __post_init__(self) -> None:
+        if self.monitor_period < 0:
+            raise ValueError("monitor period cannot be negative")
+        if self.watchdog_interval < 0:
+            raise ValueError("watchdog interval cannot be negative")
+        if self.watchdog_stalls < 1:
+            raise ValueError("watchdog stall threshold must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultConfig:
+    """Knobs of the fault-injection layer (:mod:`repro.faults`).
+
+    All injection is deterministic given ``seed``; a config with
+    ``cache_rate == msg_rate == delay_jitter == 0`` injects nothing.
+    """
+
+    #: Expected cache-resident bit-flip events per million cycles
+    #: (Poisson arrivals; each event corrupts one resident L1 word).
+    cache_rate: float = 0.0
+    #: Per-data-message probability of corrupting the NoC payload.
+    msg_rate: float = 0.0
+    #: Max extra delivery delay (cycles) added uniformly at random to
+    #: every NoC message — timing jitter for race shaking.
+    delay_jitter: int = 0
+    #: Bits flipped per fault event (single- or multi-bit upsets).
+    bits: int = 1
+    #: RNG seed for the injector.
+    seed: int = 1
+    #: What the monitor does when the data-value invariant catches a
+    #: corrupted coherent line: "abort" raises, "recover" invalidates the
+    #: line and refetches coherent data (restoring in place when the line
+    #: is the only copy), "log" counts it and continues.
+    policy: str = "abort"
+
+    def __post_init__(self) -> None:
+        if self.cache_rate < 0 or self.msg_rate < 0:
+            raise ValueError("fault rates cannot be negative")
+        if not 0.0 <= self.msg_rate <= 1.0:
+            raise ValueError("msg_rate is a probability in [0, 1]")
+        if self.delay_jitter < 0:
+            raise ValueError("delay jitter cannot be negative")
+        if not 1 <= self.bits <= 32:
+            raise ValueError("bits per fault must be in [1, 32]")
+        if self.policy not in ("abort", "recover", "log"):
+            raise ValueError(f"unknown fault policy {self.policy!r}")
+
+    @property
+    def active(self) -> bool:
+        """True when any fault mechanism is enabled."""
+        return bool(self.cache_rate or self.msg_rate or self.delay_jitter)
+
+
+@dataclass(frozen=True, slots=True)
 class SimConfig:
     """Top-level simulated-machine configuration (paper Table 1)."""
 
@@ -197,6 +274,8 @@ class SimConfig:
     noc: NocConfig = field(default_factory=NocConfig)
     dram: DramConfig = field(default_factory=DramConfig)
     ghostwriter: GhostwriterConfig = field(default_factory=GhostwriterConfig)
+    verify: VerifyConfig = field(default_factory=VerifyConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
     #: Baseline write-invalidate protocol the Ghostwriter states extend:
     #: "mesi" (the paper's evaluation baseline) or "moesi" (the paper's
     #: claim that GS/GI "can be added to most existing protocols").

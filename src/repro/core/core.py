@@ -52,6 +52,9 @@ class Core:
         self._pending_send: int | None = None
         self._started = False
         self._blocked_since = 0
+        #: description of the op this core is currently blocked on
+        #: (None while running) — read by the watchdog's diagnostic dump
+        self.blocked_op: str | None = None
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -64,6 +67,7 @@ class Core:
     def _resume_with(self, value: int | None) -> None:
         """Continuation for miss completion / sync wakeup."""
         self.stats.stall_cycles += self.engine.now - self._blocked_since
+        self.blocked_op = None
         self._pending_send = value
         self._step()
 
@@ -102,6 +106,7 @@ class Core:
                     self._pending_send = val
                     continue
                 self._blocked_since = self.engine.now
+                self.blocked_op = f"LOAD {op.addr:#x}"
                 return
             if cls is isa.Store or cls is isa.Scribble:
                 st.mem_ops += 1
@@ -116,6 +121,9 @@ class Core:
                     # stores produce no value; send(None) ~ next()
                     continue
                 self._blocked_since = self.engine.now
+                self.blocked_op = (
+                    f"{atype.value.upper()} {op.addr:#x} = {op.value:#x}"
+                )
                 return
             if cls is isa.Compute:
                 st.compute_cycles += op.cycles
@@ -123,11 +131,13 @@ class Core:
                 continue
             if cls is isa.BarrierWait:
                 self._blocked_since = self.engine.now
+                self.blocked_op = "BARRIER_WAIT"
                 op.barrier.arrive(lambda: self._resume_with(None))
                 st.barrier_waits += 1
                 return
             if cls is isa.Acquire:
                 self._blocked_since = self.engine.now
+                self.blocked_op = "ACQUIRE"
                 op.lock.acquire(self.cid, lambda: self._resume_with(None))
                 return
             if cls is isa.Release:

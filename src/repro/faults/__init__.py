@@ -1,0 +1,11 @@
+"""Deterministic, seeded fault injection (soft-error modeling).
+
+:class:`~repro.faults.injector.FaultInjector` flips bits in cache-resident
+words and NoC data payloads and jitters message delivery, all driven by a
+:class:`~repro.common.config.FaultConfig`;
+:mod:`repro.faults.sweep` is the experiment driver measuring output error
+vs. fault rate for baseline MESI against Ghostwriter d in {4, 8}.
+"""
+from repro.faults.injector import FaultInjector
+
+__all__ = ["FaultInjector"]

@@ -1,0 +1,164 @@
+"""Output error vs. fault rate: baseline MESI against Ghostwriter.
+
+The paper's thesis is that error-tolerant applications absorb the value
+divergence Ghostwriter introduces; the same tolerance should also absorb
+a background rate of soft errors.  This driver runs one workload at a
+sweep of cache-flip rates (flips per million cycles, seeded and
+deterministic — see :class:`repro.faults.injector.FaultInjector`) under
+baseline MESI and Ghostwriter d in {4, 8}, with the ``log`` degradation
+policy so corruptions flow into the application output, and reports the
+resulting output error.
+
+``python -m repro.faults.sweep`` prints the table; ``--help`` lists the
+knobs (workload, threads, scale, rates, seeds-per-cell).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.experiment import run_workload
+from repro.workloads.registry import ALL_WORKLOADS, PAPER_WORKLOADS
+
+__all__ = ["FaultSweepResult", "fault_sweep", "main", "DEFAULT_RATES"]
+
+DEFAULT_RATES: tuple[float, ...] = (0.0, 20.0, 100.0, 500.0)
+
+#: (label, d_distance) columns of the sweep; d=0 is baseline MESI
+_CONFIGS: tuple[tuple[str, int], ...] = (
+    ("mesi", 0), ("gw d=4", 4), ("gw d=8", 8),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSweepResult:
+    """Error-vs-fault-rate table for one workload.
+
+    Each cell is ``(mean_error_pct | None, crashes, runs)``: faults that
+    corrupt control data (an index, a loop bound) crash the run rather
+    than degrade the output, and fault-injection studies report the two
+    outcomes separately.
+    """
+
+    workload: str
+    metric: str
+    rates: tuple[float, ...]
+    #: ``cells[(rate, label)] -> (mean error % or None, crashes, runs)``
+    cells: dict
+
+    @staticmethod
+    def _cell_text(cell) -> str:
+        error, crashes, runs = cell
+        if error is None:
+            return f"crash ({crashes}/{runs})"
+        text = f"{error:.3f}"
+        if crashes:
+            text += f" ({crashes}/{runs} crash)"
+        return text
+
+    def render(self) -> str:
+        """The text table the CLI prints."""
+        headers = ["flips/Mcycle"] + [label for label, _d in _CONFIGS]
+        rows = []
+        for rate in self.rates:
+            row = [f"{rate:g}"]
+            for label, _d in _CONFIGS:
+                row.append(self._cell_text(self.cells[(rate, label)]))
+            rows.append(row)
+        widths = [
+            max(len(h), *(len(r[i]) for r in rows))
+            for i, h in enumerate(headers)
+        ]
+        def line(cells):
+            return "  ".join(
+                c.rjust(w) for c, w in zip(cells, widths)
+            ).rstrip()
+        out = [
+            f"{self.workload}: output error ({self.metric}, %) vs "
+            "injected cache-flip rate",
+            line(headers),
+            line(["-" * w for w in widths]),
+        ]
+        out.extend(line(r) for r in rows)
+        return "\n".join(out)
+
+
+def fault_sweep(workload: str = "histogram", *,
+                num_threads: int = 8, scale: float = 0.25,
+                rates: tuple[float, ...] = DEFAULT_RATES,
+                seeds_per_cell: int = 1,
+                seed: int = 12345) -> FaultSweepResult:
+    """Run the full (rate x config) grid and average over fault seeds.
+
+    Every run shares the workload seed (identical inputs and thread
+    programs); only the fault seed varies inside a cell, so differences
+    between cells are attributable to the injected faults and the
+    protocol's response alone.
+    """
+    if workload not in ALL_WORKLOADS:
+        raise KeyError(
+            f"unknown workload {workload!r}; available: "
+            f"{sorted(ALL_WORKLOADS)}"
+        )
+    cls = PAPER_WORKLOADS.get(workload)
+    metric = cls.error_metric if cls is not None else "error"
+    cells: dict = {}
+    for rate in rates:
+        for label, d in _CONFIGS:
+            errors: list[float] = []
+            crashes = 0
+            for k in range(seeds_per_cell):
+                try:
+                    row = run_workload(
+                        workload, d_distance=d, num_threads=num_threads,
+                        scale=scale, seed=seed,
+                        fault_rate=rate, fault_seed=1 + k,
+                        fault_policy="log",
+                    )
+                except Exception:
+                    # control-data corruption (e.g. a flipped index) kills
+                    # the run; tally it instead of aborting the sweep
+                    crashes += 1
+                else:
+                    errors.append(row.error_pct)
+            mean = sum(errors) / len(errors) if errors else None
+            cells[(rate, label)] = (mean, crashes, seeds_per_cell)
+    return FaultSweepResult(workload=workload, metric=metric,
+                            rates=tuple(rates), cells=cells)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.faults.sweep``: print the error-vs-rate table."""
+    import argparse
+    import time
+
+    p = argparse.ArgumentParser(
+        prog="repro.faults.sweep",
+        description="Output error vs injected cache-fault rate, "
+                    "MESI vs Ghostwriter d in {4, 8}.",
+    )
+    p.add_argument("--workload", default="histogram",
+                   choices=sorted(ALL_WORKLOADS))
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--rates", type=float, nargs="+",
+                   default=list(DEFAULT_RATES),
+                   metavar="FLIPS_PER_MCYCLE")
+    p.add_argument("--seeds-per-cell", type=int, default=1,
+                   help="fault seeds averaged per table cell")
+    p.add_argument("--seed", type=int, default=12345,
+                   help="workload input seed (shared by every run)")
+    args = p.parse_args(argv)
+
+    t0 = time.time()
+    result = fault_sweep(
+        args.workload, num_threads=args.threads, scale=args.scale,
+        rates=tuple(args.rates), seeds_per_cell=args.seeds_per_cell,
+        seed=args.seed,
+    )
+    print(result.render())
+    print(f"[{time.time() - t0:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -40,50 +40,78 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="also export each figure as CSV + JSON under DIR")
     p.add_argument("--protocol", choices=("mesi", "moesi"), default="mesi",
                    help="baseline protocol for the sweep figures")
+    p.add_argument("--check-invariants", default=True,
+                   action=argparse.BooleanOptionalAction,
+                   help="verify quiescence + coherence invariants after "
+                        "every run (default on; --no-check-invariants "
+                        "to skip)")
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   metavar="FLIPS_PER_MCYCLE",
+                   help="inject seeded cache bit flips at this rate "
+                        "(flips per million cycles; see repro.faults)")
+    p.add_argument("--fault-seed", type=int, default=1,
+                   help="PRNG seed for the fault injector")
     return p
 
 
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments, run the requested figures, print/export them."""
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.fault_rate < 0:
+        parser.error(f"--fault-rate must be >= 0, got {args.fault_rate:g}")
     wanted = _ALL if args.figure == "all" else (args.figure,)
     cache = F.SweepCache(num_threads=args.threads, scale=args.scale,
-                         seed=args.seed, protocol=args.protocol)
+                         seed=args.seed, protocol=args.protocol,
+                         check_invariants=args.check_invariants,
+                         fault_rate=args.fault_rate,
+                         fault_seed=args.fault_seed)
+    crashed = 0
     for name in wanted:
         t0 = time.time()
-        if name == "table1":
-            result = F.table1()
-        elif name == "table2":
-            result = F.table2(args.threads)
-        elif name == "fig1":
-            counts = tuple(
-                t for t in (1, 2, 4, 8, 16, 24) if t <= args.threads
-            )
-            result = F.fig1(thread_counts=counts, seed=args.seed)
-        elif name == "fig2":
-            result = F.fig2(num_threads=args.threads, scale=args.scale,
-                            seed=args.seed)
-        elif name == "fig7":
-            result = F.fig7(cache)
-        elif name == "fig8":
-            result = F.fig8(cache)
-        elif name == "fig9":
-            result = F.fig9(cache)
-        elif name == "fig10":
-            result = F.fig10(cache)
-        elif name == "fig11":
-            result = F.fig11(cache)
-        elif name == "fig12":
-            result = F.fig12(num_threads=args.threads, seed=args.seed)
-        else:  # pragma: no cover - argparse restricts choices
-            raise AssertionError(name)
+        try:
+            result = _run_figure(name, args, cache)
+        except Exception as exc:
+            if args.fault_rate <= 0:
+                raise
+            # injected faults legitimately crash runs when they corrupt
+            # control data; report and keep sweeping the other figures
+            print(f"[{name}: crashed under fault injection: {exc!r}]\n")
+            crashed += 1
+            continue
         print(result.render())
         if args.out is not None:
             from repro.harness.export import export_result
             paths = export_result(name, result, args.out)
             print(f"[exported {', '.join(str(p) for p in paths)}]")
         print(f"[{name}: {time.time() - t0:.1f}s]\n")
-    return 0
+    return 1 if crashed else 0
+
+
+def _run_figure(name, args, cache):
+    if name == "table1":
+        return F.table1()
+    if name == "table2":
+        return F.table2(args.threads)
+    if name == "fig1":
+        counts = tuple(t for t in (1, 2, 4, 8, 16, 24) if t <= args.threads)
+        return F.fig1(thread_counts=counts, seed=args.seed)
+    if name == "fig2":
+        return F.fig2(num_threads=args.threads, scale=args.scale,
+                      seed=args.seed)
+    if name == "fig7":
+        return F.fig7(cache)
+    if name == "fig8":
+        return F.fig8(cache)
+    if name == "fig9":
+        return F.fig9(cache)
+    if name == "fig10":
+        return F.fig10(cache)
+    if name == "fig11":
+        return F.fig11(cache)
+    if name == "fig12":
+        return F.fig12(num_threads=args.threads, seed=args.seed)
+    raise AssertionError(name)  # pragma: no cover - argparse restricts
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -12,24 +12,44 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.common.config import CacheConfig, SimConfig, default_config
+from repro.common.config import (
+    CacheConfig, FaultConfig, SimConfig, VerifyConfig, default_config,
+)
 from repro.common.types import MessageClass
 from repro.energy.accounting import EnergyAccountant, EnergyReport
 from repro.workloads.base import WorkloadResult
 from repro.workloads.registry import create
 
 __all__ = ["experiment_config", "RunRow", "run_workload", "run_pair",
-           "DEFAULT_THREADS", "DEFAULT_SCALE"]
+           "DEFAULT_THREADS", "DEFAULT_SCALE", "WATCHDOG_INTERVAL"]
 
 DEFAULT_THREADS = 24
 DEFAULT_SCALE = 0.5
 
 
+#: watchdog cadence for experiment runs: generous against the slowest
+#: workload phase, but orders of magnitude tighter than the blind
+#: ``max_cycles`` abort it replaces
+WATCHDOG_INTERVAL = 100_000
+
+
 def experiment_config(*, enabled: bool, d_distance: int = 4,
                       gi_timeout: int = 1024,
                       num_cores: int = DEFAULT_THREADS,
-                      protocol: str = "mesi") -> SimConfig:
-    """The scaled experiment machine (see module docstring)."""
+                      protocol: str = "mesi",
+                      check_invariants: bool = True,
+                      fault_rate: float = 0.0, fault_seed: int = 1,
+                      fault_policy: str = "abort") -> SimConfig:
+    """The scaled experiment machine (see module docstring).
+
+    ``check_invariants`` gates the end-of-run quiescence + coherence
+    checks; ``fault_rate`` (flips per million cycles across the cache
+    hierarchy) with ``fault_seed``/``fault_policy`` arms the fault
+    injector (see :mod:`repro.faults`).  The progress watchdog is always
+    armed so a deadlocked experiment fails in ~2x
+    ``WATCHDOG_INTERVAL`` cycles with a diagnostic dump instead of
+    spinning to ``max_cycles``.
+    """
     # The experiment machine is the paper's Table 1 machine, unmodified:
     # with the self-limiting scribble-fallback semantics the approximate
     # dynamics do not depend on cache-capacity pressure, so no scaling of
@@ -37,7 +57,13 @@ def experiment_config(*, enabled: bool, d_distance: int = 4,
     cfg = default_config().with_ghostwriter(
         enabled=enabled, d_distance=d_distance, gi_timeout=gi_timeout,
     )
-    return replace(cfg, num_cores=num_cores, protocol=protocol)
+    return replace(
+        cfg, num_cores=num_cores, protocol=protocol,
+        verify=VerifyConfig(check_invariants=check_invariants,
+                            watchdog_interval=WATCHDOG_INTERVAL),
+        faults=FaultConfig(cache_rate=fault_rate, seed=fault_seed,
+                           policy=fault_policy),
+    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -110,12 +136,16 @@ def run_workload(name: str, *, d_distance: int,
                  num_threads: int = DEFAULT_THREADS,
                  scale: float = DEFAULT_SCALE, seed: int = 12345,
                  gi_timeout: int = 1024, protocol: str = "mesi",
+                 check_invariants: bool = True, fault_rate: float = 0.0,
+                 fault_seed: int = 1, fault_policy: str = "abort",
                  **workload_kwargs) -> RunRow:
     """Run one workload once.  ``d_distance=0`` disables Ghostwriter."""
     enabled = d_distance > 0
     cfg = experiment_config(
         enabled=enabled, d_distance=max(d_distance, 1),
         gi_timeout=gi_timeout, num_cores=num_threads, protocol=protocol,
+        check_invariants=check_invariants, fault_rate=fault_rate,
+        fault_seed=fault_seed, fault_policy=fault_policy,
     )
     w = create(name, num_threads=num_threads, seed=seed, scale=scale,
                **workload_kwargs)

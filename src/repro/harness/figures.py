@@ -52,11 +52,15 @@ class SweepCache:
 
     def __init__(self, num_threads: int = DEFAULT_THREADS,
                  scale: float = DEFAULT_SCALE, seed: int = 12345,
-                 protocol: str = "mesi") -> None:
+                 protocol: str = "mesi", check_invariants: bool = True,
+                 fault_rate: float = 0.0, fault_seed: int = 1) -> None:
         self.num_threads = num_threads
         self.scale = scale
         self.seed = seed
         self.protocol = protocol
+        self.check_invariants = check_invariants
+        self.fault_rate = fault_rate
+        self.fault_seed = fault_seed
         self._rows: dict[tuple[str, int], RunRow] = {}
 
     def row(self, app: str, d: int) -> RunRow:
@@ -66,6 +70,9 @@ class SweepCache:
             self._rows[key] = run_workload(
                 app, d_distance=d, num_threads=self.num_threads,
                 scale=self.scale, seed=self.seed, protocol=self.protocol,
+                check_invariants=self.check_invariants,
+                fault_rate=self.fault_rate, fault_seed=self.fault_seed,
+                fault_policy="log" if self.fault_rate else "abort",
             )
         return self._rows[key]
 

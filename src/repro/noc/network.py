@@ -27,7 +27,7 @@ class Network:
     """Routes :class:`Message` objects between registered endpoints."""
 
     __slots__ = ("cfg", "engine", "stats", "block_bytes", "_endpoints",
-                 "_class_counts")
+                 "_class_counts", "_in_flight", "fault_hook")
 
     def __init__(self, cfg: NocConfig, engine: Engine, block_bytes: int,
                  stats: StatGroup | None = None) -> None:
@@ -38,6 +38,13 @@ class Network:
         self._endpoints: dict[int, Callable[[Message], None]] = {}
         # eagerly materialize the Fig. 8 class counters
         self._class_counts = {klass: 0 for klass in MessageClass}
+        #: messages sent but not yet delivered (id -> message); lets the
+        #: invariant monitor skip blocks with traffic in flight and the
+        #: watchdog dump what is stuck on the wire
+        self._in_flight: dict[int, Message] = {}
+        #: optional fault-injection hook, called once per send; may
+        #: corrupt ``msg.words`` and returns extra delivery delay cycles
+        self.fault_hook: Callable[[Message], int] | None = None
 
     def register(self, node: int, handler: Callable[[Message], None]) -> None:
         """Bind the message handler for a mesh node (one per node)."""
@@ -60,7 +67,16 @@ class Network:
         payload = msg.payload_bytes(self.block_bytes, self.cfg.control_msg_bytes)
         latency = self.cfg.message_latency(msg.src, msg.dst, payload)
         self._account(msg, payload)
-        self.engine.schedule(latency + extra_delay, lambda: handler(msg))
+        if self.fault_hook is not None:
+            extra_delay += self.fault_hook(msg)
+        in_flight = self._in_flight
+        in_flight[id(msg)] = msg
+
+        def deliver() -> None:
+            del in_flight[id(msg)]
+            handler(msg)
+
+        self.engine.schedule(latency + extra_delay, deliver)
 
     def account_transfer(
         self, src: int, dst: int, data: bool,
@@ -97,6 +113,15 @@ class Network:
         st.flit_hops += flits * links
         st.router_traversals += flits * routers
         st.payload_bytes += payload
+
+    # -- introspection -----------------------------------------------------
+    def in_flight(self) -> list[Message]:
+        """Messages currently on the wire (sent, not yet delivered)."""
+        return list(self._in_flight.values())
+
+    def blocks_in_flight(self) -> set[int]:
+        """Block addresses with at least one undelivered message."""
+        return {m.block_addr for m in self._in_flight.values()}
 
     # -- reporting ---------------------------------------------------------
     def class_counts(self) -> dict[MessageClass, int]:

@@ -28,7 +28,8 @@ class SimulationTimeout(SimulationError):
 class Engine:
     """Minimal event-driven scheduler with a global cycle clock."""
 
-    __slots__ = ("_queue", "_seq", "now", "events_executed", "_running")
+    __slots__ = ("_queue", "_seq", "now", "events_executed", "_running",
+                 "timeout_hook")
 
     def __init__(self) -> None:
         self._queue: list[tuple[int, int, Callable[[], None]]] = []
@@ -36,6 +37,9 @@ class Engine:
         self.now = 0
         self.events_executed = 0
         self._running = False
+        #: optional context provider appended to timeout diagnostics —
+        #: the machine installs one reporting per-core finish status
+        self.timeout_hook: Callable[[], str] | None = None
 
     def schedule(self, delay: int, callback: Callable[[], None]) -> None:
         """Run ``callback`` ``delay`` cycles from now (delay >= 0)."""
@@ -66,21 +70,35 @@ class Engine:
             while queue:
                 cycle, _seq, callback = heapq.heappop(queue)
                 if cycle > max_cycles:
-                    raise SimulationTimeout(
-                        f"simulation exceeded {max_cycles} cycles "
-                        f"({self.events_executed} events executed); "
-                        "likely deadlock or unfinished thread program"
-                    )
+                    raise SimulationTimeout(self._timeout_message(
+                        f"simulation exceeded {max_cycles} cycles"
+                    ))
                 self.now = cycle
                 self.events_executed += 1
                 if max_events is not None and self.events_executed > max_events:
-                    raise SimulationTimeout(
+                    raise SimulationTimeout(self._timeout_message(
                         f"simulation exceeded {max_events} events"
-                    )
+                    ))
                 callback()
         finally:
             self._running = False
         return self.now
+
+    def _timeout_message(self, what: str) -> str:
+        """Timeout diagnostics: cycle, event and queue counts, plus
+        whatever context the installed :attr:`timeout_hook` provides."""
+        msg = (
+            f"{what} at cycle {self.now} "
+            f"({self.events_executed} events executed, "
+            f"{len(self._queue) + 1} events still pending); "
+            "likely deadlock or unfinished thread program"
+        )
+        if self.timeout_hook is not None:
+            try:
+                msg += "\n" + self.timeout_hook()
+            except Exception as exc:  # diagnostics must never mask the timeout
+                msg += f"\n(timeout hook failed: {exc!r})"
+        return msg
 
     def run_until(self, cycle: int) -> int:
         """Execute events up to and including ``cycle``; later events stay

@@ -24,10 +24,13 @@ from repro.common.stats import StatGroup
 from repro.common.types import MessageType
 from repro.core.core import Core
 from repro.core.sync import Barrier, Lock
+from repro.faults.injector import FaultInjector
 from repro.mem.backing import BackingStore
 from repro.mem.dram import Dram
 from repro.noc.network import Network
 from repro.sim.engine import Engine, SimulationError
+from repro.verify.monitor import InvariantMonitor, check_block_structure
+from repro.verify.watchdog import ProgressWatchdog, diagnostic_dump
 
 __all__ = ["Machine"]
 
@@ -77,6 +80,23 @@ class Machine:
         self.cores: list[Core | None] = [None] * cfg.num_cores
         for node in range(cfg.noc.num_nodes):
             self.network.register(node, self._make_endpoint(node))
+        # verification-and-faults layer (all off by default; see
+        # VerifyConfig / FaultConfig)
+        self.monitor: InvariantMonitor | None = None
+        if cfg.verify.monitor_period:
+            self.monitor = InvariantMonitor(
+                self, cfg.verify.monitor_period,
+                check_values=cfg.verify.check_values,
+                policy=cfg.faults.policy,
+            )
+        self.watchdog: ProgressWatchdog | None = None
+        if cfg.verify.watchdog_interval:
+            self.watchdog = ProgressWatchdog(
+                self, cfg.verify.watchdog_interval, cfg.verify.watchdog_stalls
+            )
+        self.injector: FaultInjector | None = None
+        if cfg.faults.active:
+            self.injector = FaultInjector(self, cfg.faults)
         self._ran = False
 
     # ------------------------------------------------------------------
@@ -136,17 +156,35 @@ class Machine:
         active = [c for c in self.cores if c is not None]
         if not active:
             raise SimulationError("no thread programs bound")
+        self.engine.timeout_hook = self._timeout_context
+        if self.monitor is not None:
+            self.monitor.start()
+        if self.watchdog is not None:
+            self.watchdog.start()
+        if self.injector is not None:
+            self.injector.start()
         for core in active:
             core.start()
         end = self.engine.run(max_cycles=max_cycles)
         for core in active:
             if not core.done:
                 raise SimulationError(
-                    f"core {core.cid} never finished (deadlock?)"
+                    f"core {core.cid} never finished (deadlock?)\n"
+                    + diagnostic_dump(self)
                 )
         self.network.finalize_stats()
         self.stats.total_cycles = end
         return end
+
+    def _timeout_context(self) -> str:
+        """Context appended to SimulationTimeout messages: per-core finish
+        status plus the full diagnostic dump."""
+        status = ", ".join(
+            f"core {c.cid}: "
+            + (f"done @ {c.finish_cycle}" if c.done else "UNFINISHED")
+            for c in self.cores if c is not None
+        )
+        return f"core status: [{status}]\n{diagnostic_dump(self)}"
 
     # ------------------------------------------------------------------
     # results
@@ -173,16 +211,11 @@ class Machine:
                 raise ProtocolError(f"directory {agent.node} not quiescent")
 
     def check_coherence_invariants(self) -> None:
-        """Structural protocol invariants, checkable whenever the system is
-        quiescent:
-
-        * SWMR: at most one L1 holds a block in E/M/O; E/M owners coexist
-          with no S copies, while an O owner (MOESI) coexists with
-          sharers by design (GS copies are *expected* violations of
-          global visibility but still appear in the sharer list; GI
-          copies are invisible to the directory by design).
-        * Directory agreement: dir owner <-> the E/M/O holder; every
-          S/GS holder is in the dir sharer list.
+        """Structural protocol invariants, checkable whenever the system
+        is quiescent (see :func:`repro.verify.monitor.check_block_structure`
+        for the invariant list — the runtime monitor applies the same
+        checks mid-run, restricted to block-quiescent blocks).  When a
+        runtime monitor is attached, its data-value invariant runs too.
         """
         from repro.common.types import CoherenceState as CS
 
@@ -193,29 +226,6 @@ class Machine:
                     holders.setdefault(line.tag, {})[l1.node] = line.state
 
         for block, by_node in holders.items():
-            owners = [n for n, s in by_node.items()
-                      if s in (CS.E, CS.M, CS.O)]
-            exclusive = [n for n, s in by_node.items() if s in (CS.E, CS.M)]
-            shared = [n for n, s in by_node.items() if s in (CS.S, CS.GS)]
-            if len(owners) > 1:
-                raise ProtocolError(
-                    f"SWMR violated on {block:#x}: owners {owners}"
-                )
-            if exclusive and shared:
-                raise ProtocolError(
-                    f"{block:#x} owned by {exclusive[0]} but shared by {shared}"
-                )
-            agent = self.agents[self.cfg.home_directory(block)]
-            entry = agent.peek_entry(block)
-            if owners:
-                if entry is None or entry.owner != owners[0]:
-                    raise ProtocolError(
-                        f"dir/owner mismatch on {block:#x}: "
-                        f"L1 owner {owners[0]}, dir {entry}"
-                    )
-            for node in shared:
-                if entry is None or node not in entry.sharers:
-                    raise ProtocolError(
-                        f"{block:#x}: node {node} holds S/GS but is not a "
-                        "directory sharer"
-                    )
+            check_block_structure(self, block, by_node)
+        if self.monitor is not None:
+            self.monitor.check()

@@ -1,0 +1,30 @@
+"""Verification layer: runtime invariant monitor, progress watchdog, and
+the randomized protocol fuzzer.
+
+See DESIGN.md ("Verification & fault injection") for the full story; the
+short version:
+
+* :class:`~repro.verify.monitor.InvariantMonitor` re-checks SWMR,
+  directory agreement and the data-value invariant every
+  ``SimConfig.verify.monitor_period`` cycles while the run is live.
+* :class:`~repro.verify.watchdog.ProgressWatchdog` turns silent deadlocks
+  into :class:`~repro.verify.watchdog.DeadlockError` with a structured
+  diagnostic dump.
+* :mod:`repro.verify.fuzz` drives seeded random multi-core traces through
+  {MESI, MOESI} x {Ghostwriter on/off} under the monitor, with
+  failing-trace minimization and a replayable regression corpus.
+"""
+from repro.verify.monitor import (
+    GoldenMemory, InvariantMonitor, InvariantViolation, check_block_structure,
+)
+from repro.verify.watchdog import DeadlockError, ProgressWatchdog, diagnostic_dump
+
+__all__ = [
+    "GoldenMemory",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "check_block_structure",
+    "DeadlockError",
+    "ProgressWatchdog",
+    "diagnostic_dump",
+]

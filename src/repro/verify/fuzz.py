@@ -1,0 +1,377 @@
+"""Randomized protocol fuzzer with trace minimization and a corpus.
+
+A :class:`FuzzTrace` is a fully explicit, JSON-serializable program: one
+op list per core over a small pool of hot addresses (a mix of
+falsely-shared private words and truly shared words, the layouts that
+maximize protocol races).  :func:`run_trace` executes a trace on a small
+machine with the runtime invariant monitor and the progress watchdog
+armed, then checks:
+
+* quiescence + structural coherence invariants (including the monitor's
+  data-value invariant against the golden memory),
+* **load provenance** — every loaded value must be the initial value or
+  some value previously stored to that address (store values are unique
+  by construction, so cross-address mixups and fabricated data are
+  caught even under approximate execution),
+* **sequential oracle for precise data** — with Ghostwriter disabled the
+  final coherent value of every address must be the *last* value some
+  core wrote to it (per-core program order is preserved by a coherent
+  memory; with Ghostwriter on, dropped scribbles legally resurface older
+  values, so only provenance applies).
+
+:func:`run_matrix` sweeps seeds across {MESI, MOESI} x {Ghostwriter
+on/off}; :func:`minimize_trace` is a deterministic ddmin-style shrinker
+for failing traces; :func:`load_corpus_trace`/:func:`save_corpus_trace`
+round-trip shrunk traces through ``tests/verify/corpus/`` for regression
+replay.  ``python -m repro.verify.fuzz --seeds 200`` runs the sweep from
+the command line.
+"""
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, replace as dc_replace
+from pathlib import Path
+
+from repro.common.config import FaultConfig, VerifyConfig, small_config
+from repro.isa.instructions import (
+    Compute, FlushApprox, Load, Scribble, SetAprx, Store,
+)
+from repro.sim.machine import Machine
+
+__all__ = [
+    "FuzzTrace", "FuzzFailure", "approx_drops",
+    "generate_trace", "run_trace", "run_matrix",
+    "minimize_trace", "save_corpus_trace", "load_corpus_trace", "main",
+    "PROTOCOL_MATRIX",
+]
+
+#: the four protocol configurations every trace is exercised under
+PROTOCOL_MATRIX: tuple[tuple[str, bool], ...] = (
+    ("mesi", False), ("mesi", True), ("moesi", False), ("moesi", True),
+)
+
+_BASE = 0x8000
+_WORDS_PER_BLOCK = 16
+#: d-distance used by fuzz traces: store values encode the target address
+#: above bit 10 and a uniqueness counter in the low 8 bits, so two values
+#: for the same word are always d-similar while values for different
+#: words never are
+_FUZZ_D = 10
+_FAR_BIT = 1 << 30
+
+_OP_WEIGHTS = (
+    ("load", 32), ("store", 24), ("scribble", 24), ("scribble_far", 8),
+    ("compute", 6), ("flush", 6),
+)
+
+
+class FuzzFailure(AssertionError):
+    """A fuzz run violated an invariant or oracle; the message names the
+    seed, protocol configuration, and the precise check that failed."""
+
+
+@dataclass(frozen=True, slots=True)
+class FuzzTrace:
+    """One fully explicit multi-core fuzz program."""
+
+    seed: int
+    num_cores: int
+    d_distance: int
+    #: per-core tuple of ops; each op is ``(kind, addr_or_n, value)``
+    ops: tuple[tuple[tuple[str, int, int], ...], ...]
+
+    def op_count(self) -> int:
+        """Total ops across all cores."""
+        return sum(len(core_ops) for core_ops in self.ops)
+
+    def to_json(self) -> dict:
+        """JSON-serializable representation (corpus format)."""
+        return {
+            "seed": self.seed,
+            "num_cores": self.num_cores,
+            "d_distance": self.d_distance,
+            "ops": [[list(op) for op in core_ops] for core_ops in self.ops],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FuzzTrace":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            seed=data["seed"],
+            num_cores=data["num_cores"],
+            d_distance=data["d_distance"],
+            ops=tuple(
+                tuple((k, int(a), int(b)) for k, a, b in core_ops)
+                for core_ops in data["ops"]
+            ),
+        )
+
+
+def _pool_addr(slot: int, tid: int, blocks: int) -> int:
+    """Map a slot choice to an address.  Even slots pick a word private
+    to the thread inside a shared block (false sharing); odd slots pick a
+    fully shared word."""
+    block = (slot % blocks) * 64
+    if slot % 2 == 0:
+        off = 4 * (4 + tid % (_WORDS_PER_BLOCK - 4))
+    else:
+        off = 4 * (slot % 4)
+    return _BASE + block + off
+
+
+def _encode_value(addr: int, uniq: int, far: bool) -> int:
+    value = ((addr >> 2) & 0xFFFF) << 10 | (uniq & 0xFF)
+    return value | _FAR_BIT if far else value
+
+
+def generate_trace(seed: int, *, num_cores: int = 3, ops_per_core: int = 24,
+                   blocks: int = 3) -> FuzzTrace:
+    """A seeded random trace over a small hot-address pool."""
+    rng = random.Random(seed)
+    kinds = [k for k, w in _OP_WEIGHTS for _ in range(w)]
+    uniq = 0
+    cores = []
+    for tid in range(num_cores):
+        ops: list[tuple[str, int, int]] = []
+        for _ in range(ops_per_core):
+            kind = rng.choice(kinds)
+            if kind == "compute":
+                ops.append(("compute", rng.randint(1, 8), 0))
+                continue
+            if kind == "flush":
+                ops.append(("flush", 0, 0))
+                continue
+            addr = _pool_addr(rng.randrange(blocks * 4), tid, blocks)
+            if kind == "load":
+                ops.append(("load", addr, 0))
+                continue
+            uniq += 1
+            far = kind == "scribble_far"
+            value = _encode_value(addr, uniq, far)
+            ops.append(
+                ("scribble" if far else kind, addr, value)
+            )
+        cores.append(tuple(ops))
+    return FuzzTrace(seed=seed, num_cores=num_cores, d_distance=_FUZZ_D,
+                     ops=tuple(cores))
+
+
+# ---------------------------------------------------------------------
+# execution + oracles
+# ---------------------------------------------------------------------
+def run_trace(trace: FuzzTrace, *, protocol: str = "mesi", gw: bool = True,
+              jitter: int = 0, monitor_period: int = 64,
+              max_cycles: int = 2_000_000) -> Machine:
+    """Execute one trace under one protocol configuration and apply every
+    oracle; raises :class:`FuzzFailure` on any violation.  Returns the
+    finished machine for further inspection."""
+    label = (
+        f"seed={trace.seed} protocol={protocol} gw={gw} jitter={jitter}"
+    )
+    cfg = small_config(
+        num_cores=max(2, trace.num_cores), enabled=gw,
+        d_distance=trace.d_distance, gi_timeout=256, core_quantum=1,
+    )
+    cfg = dc_replace(
+        cfg,
+        protocol=protocol,
+        verify=VerifyConfig(monitor_period=monitor_period,
+                            watchdog_interval=50_000),
+        faults=FaultConfig(delay_jitter=jitter, seed=trace.seed or 1),
+    )
+    m = Machine(cfg)
+
+    written: dict[int, set[int]] = {}
+    last_write: dict[int, dict[int, int]] = {}  # addr -> {tid: last value}
+    loads: list[tuple[int, int, int]] = []      # (tid, addr, observed)
+
+    def program(tid: int, ops):
+        def prog():
+            yield SetAprx(trace.d_distance)
+            for kind, a, b in ops:
+                if kind == "load":
+                    value = yield Load(a)
+                    loads.append((tid, a, value))
+                elif kind == "store":
+                    written.setdefault(a, set()).add(b)
+                    last_write.setdefault(a, {})[tid] = b
+                    yield Store(a, b)
+                elif kind == "scribble":
+                    written.setdefault(a, set()).add(b)
+                    last_write.setdefault(a, {})[tid] = b
+                    yield Scribble(a, b)
+                elif kind == "compute":
+                    yield Compute(a)
+                elif kind == "flush":
+                    yield FlushApprox()
+                else:
+                    raise ValueError(f"unknown fuzz op kind {kind!r}")
+        return prog()
+
+    for tid, core_ops in enumerate(trace.ops):
+        m.add_thread(tid, program(tid, core_ops))
+
+    try:
+        m.run(max_cycles=max_cycles)
+        m.check_quiescent()
+        m.check_coherence_invariants()
+    except FuzzFailure:
+        raise
+    except Exception as exc:
+        raise FuzzFailure(f"[{label}] {type(exc).__name__}: {exc}") from exc
+
+    # load provenance: every observed value was initial (0) or stored
+    for tid, addr, value in loads:
+        if value != 0 and value not in written.get(addr, ()):
+            raise FuzzFailure(
+                f"[{label}] core {tid} loaded fabricated value "
+                f"{value:#x} from {addr:#x}"
+            )
+
+    # final-state oracles on the coherent view
+    golden = m.monitor.golden if m.monitor is not None else None
+    for addr, values in written.items():
+        final = (
+            golden.word(addr) if golden is not None
+            else m.backing.load_word(addr)
+        )
+        if not gw:
+            allowed = set(last_write[addr].values())
+        else:
+            # dropped scribbles legally resurface older/initial values
+            allowed = values | {0}
+        if final not in allowed:
+            raise FuzzFailure(
+                f"[{label}] final value of {addr:#x} is {final:#x}, "
+                f"not among {sorted(hex(v) for v in allowed)}"
+            )
+    return m
+
+
+def run_matrix(seeds, *, jitter: int = 0, num_cores: int = 3,
+               ops_per_core: int = 24,
+               matrix=PROTOCOL_MATRIX) -> dict[str, int]:
+    """Run every seed under every protocol configuration.
+
+    Raises :class:`FuzzFailure` on the first violation; returns summary
+    counters (``runs``, ``ops``) when everything passes.
+    """
+    runs = ops = 0
+    for seed in seeds:
+        trace = generate_trace(seed, num_cores=num_cores,
+                               ops_per_core=ops_per_core)
+        for protocol, gw in matrix:
+            run_trace(trace, protocol=protocol, gw=gw, jitter=jitter)
+            runs += 1
+            ops += trace.op_count()
+    return {"runs": runs, "ops": ops}
+
+
+def approx_drops(machine: Machine) -> int:
+    """Total approximate updates forfeited across all L1s (the
+    Ghostwriter GS/GI-invalidation race the corpus traces pin down)."""
+    l1_stats = machine.stats.child("l1")
+    return sum(
+        l1_stats.child(f"c{n}").approx_data_dropped
+        for n in range(machine.cfg.num_cores)
+    )
+
+
+# ---------------------------------------------------------------------
+# minimization
+# ---------------------------------------------------------------------
+def minimize_trace(trace: FuzzTrace, failing) -> FuzzTrace:
+    """Deterministic ddmin-style shrink: greedily delete op chunks (then
+    single ops, then empty cores) while ``failing(trace)`` stays True.
+    ``failing`` must be a pure predicate of the trace."""
+    if not failing(trace):
+        raise ValueError("minimize_trace needs a failing trace to start from")
+
+    def with_ops(ops_lists) -> FuzzTrace:
+        return dc_replace(trace, ops=tuple(tuple(o) for o in ops_lists))
+
+    current = [list(core_ops) for core_ops in trace.ops]
+    shrunk = True
+    while shrunk:
+        shrunk = False
+        for cid in range(len(current)):
+            chunk = max(1, len(current[cid]) // 2)
+            while chunk >= 1:
+                start = 0
+                while start < len(current[cid]):
+                    candidate = [list(o) for o in current]
+                    del candidate[cid][start:start + chunk]
+                    if failing(with_ops(candidate)):
+                        current = candidate
+                        shrunk = True
+                    else:
+                        start += chunk
+                chunk //= 2
+    # drop cores left with no ops (renumbering keeps the machine small)
+    pruned = [ops for ops in current if ops]
+    if pruned and len(pruned) < len(current):
+        candidate = dc_replace(
+            trace,
+            num_cores=len(pruned),
+            ops=tuple(tuple(o) for o in pruned),
+        )
+        if failing(candidate):
+            return candidate
+    return with_ops(current)
+
+
+# ---------------------------------------------------------------------
+# corpus
+# ---------------------------------------------------------------------
+def save_corpus_trace(trace: FuzzTrace, path: str | Path, *,
+                      note: str) -> None:
+    """Write a shrunk trace to the regression corpus."""
+    data = trace.to_json()
+    data["note"] = note
+    Path(path).write_text(json.dumps(data, indent=1) + "\n")
+
+
+def load_corpus_trace(path: str | Path) -> FuzzTrace:
+    """Read a corpus trace back."""
+    return FuzzTrace.from_json(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.verify.fuzz``: run the seed sweep and report."""
+    import argparse
+    import time
+
+    p = argparse.ArgumentParser(
+        prog="repro.verify.fuzz",
+        description="Randomized Ghostwriter protocol fuzzer.",
+    )
+    p.add_argument("--seeds", type=int, default=200,
+                   help="number of seeded traces (each runs under "
+                        "{MESI, MOESI} x {+-Ghostwriter})")
+    p.add_argument("--first-seed", type=int, default=0)
+    p.add_argument("--ops", type=int, default=24, help="ops per core")
+    p.add_argument("--cores", type=int, default=3)
+    p.add_argument("--jitter", type=int, default=0,
+                   help="max extra NoC delay cycles (race shaking)")
+    args = p.parse_args(argv)
+
+    t0 = time.time()
+    summary = run_matrix(
+        range(args.first_seed, args.first_seed + args.seeds),
+        jitter=args.jitter, num_cores=args.cores, ops_per_core=args.ops,
+    )
+    dt = time.time() - t0
+    print(
+        f"fuzz: {summary['runs']} runs "
+        f"({args.seeds} seeds x {len(PROTOCOL_MATRIX)} configs, "
+        f"{summary['ops']} trace ops) clean in {dt:.1f}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

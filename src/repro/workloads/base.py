@@ -126,7 +126,9 @@ class Workload(abc.ABC):
         machine = Machine(cfg)
         self.build(machine)
         machine.run(max_cycles=max_cycles)
-        machine.check_quiescent()
+        if cfg.verify.check_invariants:
+            machine.check_quiescent()
+            machine.check_coherence_invariants()
         # execution time is when the last thread finishes; the queue keeps
         # draining housekeeping events (e.g. a pending GI timeout) after
         # that, which must not count against the protocol

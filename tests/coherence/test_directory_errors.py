@@ -1,0 +1,75 @@
+"""Directory agent error paths: malformed responses must raise
+ProtocolError instead of silently corrupting directory state."""
+import pytest
+
+from repro.coherence.messages import ProtocolError
+from repro.common.types import DirState, MessageType
+
+from tests.coherence.test_directory_unit import BLK, _Harness, _other_node
+
+
+def test_response_without_transaction():
+    h = _Harness()
+    req = _other_node(h)
+    with pytest.raises(ProtocolError, match="response without transaction"):
+        h.send(MessageType.INV_ACK, req)
+
+
+def test_chain_response_without_transaction():
+    h = _Harness()
+    req = _other_node(h)
+    with pytest.raises(ProtocolError, match="response without transaction"):
+        h.send(MessageType.CHAIN_ACK, req)
+
+
+def test_unexpected_inv_ack_during_chain_wait():
+    """An INV_ACK while the transaction awaits a chain response (no
+    invalidations outstanding) is a protocol violation."""
+    h = _Harness()
+    a, b = 1, 2
+    h.send(MessageType.GETS, a, requestor=a)       # a becomes owner
+    h.send(MessageType.GETS, b, requestor=b)       # busy: FWD_GETS chain
+    assert h.agent.peek_entry(BLK).busy
+    with pytest.raises(ProtocolError, match="unexpected INV_ACK"):
+        h.send(MessageType.INV_ACK, a)
+
+
+def test_unexpected_chain_response():
+    """A chain response when the transaction is not waiting on one (it is
+    counting INV_ACKs) is a protocol violation."""
+    h = _Harness()
+    a, b, c = 1, 2, 3
+    # two sharers via the shared path: first reader takes E, a second
+    # GETS moves the entry to S through the owner chain
+    h.send(MessageType.GETS, a, requestor=a)
+    h.send(MessageType.GETS, b, requestor=b)
+    h.send(MessageType.CHAIN_ACK, a, requestor=b)  # owner answers chain
+    assert h.agent.peek_entry(BLK).state is DirState.S
+    # now a GETX from a third node: directory counts INV_ACKs
+    h.send(MessageType.GETX, c, requestor=c)
+    txn = h.agent.peek_entry(BLK).txn
+    assert txn is not None and txn.pending_acks > 0
+    assert not txn.waiting_chain
+    with pytest.raises(ProtocolError, match="unexpected chain response"):
+        h.send(MessageType.CHAIN_DATA, a, requestor=c, words=[0] * 16)
+
+
+def test_chain_response_with_no_continuation():
+    """White-box: a chain response whose transaction lost its
+    continuation callback must raise, not be dropped on the floor."""
+    h = _Harness()
+    a, b = 1, 2
+    h.send(MessageType.GETS, a, requestor=a)
+    h.send(MessageType.GETS, b, requestor=b)       # busy, waiting_chain
+    txn = h.agent.peek_entry(BLK).txn
+    assert txn is not None and txn.waiting_chain
+    txn._on_chain = None
+    with pytest.raises(ProtocolError, match="no continuation"):
+        h.send(MessageType.CHAIN_ACK, a, requestor=b)
+
+
+def test_unstartable_message_type():
+    h = _Harness()
+    req = _other_node(h)
+    with pytest.raises(ProtocolError, match="cannot start"):
+        h.send(MessageType.DATA, req, words=[0] * 16)

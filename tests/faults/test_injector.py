@@ -1,0 +1,145 @@
+"""Fault injector: determinism, wire-vs-SRAM isolation, recovery."""
+from dataclasses import replace
+
+from repro.common.config import FaultConfig, VerifyConfig, small_config
+from repro.isa.instructions import Compute, Load, Store
+from repro.sim.machine import Machine
+
+BLK = 0x4000
+
+
+def _machine(faults: FaultConfig, *, monitor_period=0):
+    cfg = small_config(num_cores=2)
+    cfg = replace(
+        cfg, faults=faults,
+        verify=VerifyConfig(monitor_period=monitor_period),
+    )
+    return Machine(cfg)
+
+
+def _busy_writer(blocks=4, rounds=40):
+    def prog():
+        for r in range(rounds):
+            for b in range(blocks):
+                yield Store(BLK + 64 * b, r * blocks + b + 1)
+            yield Compute(100)
+    return prog()
+
+
+def test_inactive_by_default():
+    m = _machine(FaultConfig())
+    assert m.injector is None
+
+
+def test_cache_flips_are_deterministic():
+    logs = []
+    for _ in range(2):
+        m = _machine(FaultConfig(cache_rate=5000.0, seed=99, policy="log"))
+        m.add_thread(0, _busy_writer())
+        m.run()
+        assert m.injector.stats.cache_flips > 0
+        logs.append(m.injector.log)
+    assert logs[0] == logs[1]
+
+
+def test_different_seed_different_faults():
+    logs = []
+    for seed in (1, 2):
+        m = _machine(FaultConfig(cache_rate=5000.0, seed=seed, policy="log"))
+        m.add_thread(0, _busy_writer())
+        m.run()
+        logs.append(m.injector.log)
+    assert logs[0] != logs[1]
+
+
+def test_message_flip_corrupts_wire_not_sram():
+    """With 100% message corruption the receiver sees flipped data, but
+    the L2/memory copy served from the sender's SRAM stays intact."""
+    m = _machine(FaultConfig(msg_rate=1.0, seed=7, policy="log"))
+    observed = []
+
+    def writer():
+        yield Store(BLK, 0x1234)
+        yield Compute(400)
+
+    def reader():
+        yield Compute(200)
+        observed.append((yield Load(BLK)))
+
+    m.add_thread(0, writer())
+    m.add_thread(1, reader())
+    m.run()
+    assert m.injector.stats.msg_flips > 0
+    assert observed  # reader completed despite the noisy wire
+
+    def words_at(node):
+        for line in m.l1s[node].array.iter_valid():
+            if line.tag == BLK:
+                return line.words
+        return None
+
+    # the writer's own SRAM copy was never touched (flips are applied to
+    # a copy of the payload)...
+    writer_words = words_at(0)
+    assert writer_words is not None and writer_words[0] == 0x1234
+    # ...while the copy that crossed the (100%-corrupted) wire into the
+    # reader's cache differs from it
+    reader_words = words_at(1)
+    assert reader_words is not None and reader_words != writer_words
+
+
+def test_delay_jitter_preserves_correctness():
+    m = _machine(FaultConfig(delay_jitter=5, seed=3))
+    observed = []
+
+    def writer():
+        yield Store(BLK, 0xBEEF)
+        yield Compute(400)
+
+    def reader():
+        yield Compute(200)
+        observed.append((yield Load(BLK)))
+
+    m.add_thread(0, writer())
+    m.add_thread(1, reader())
+    m.run()
+    m.check_quiescent()
+    m.check_coherence_invariants()
+    assert m.injector.stats.jittered_messages > 0
+    assert observed == [0xBEEF]
+
+
+def test_injected_corruption_caught_and_recovered():
+    """End-to-end acceptance path: an injected cache flip is caught by
+    the data-value invariant and repaired by invalidate-and-refetch, and
+    the application still observes the correct value."""
+    m = _machine(
+        FaultConfig(cache_rate=0.001, seed=5, policy="recover"),
+        monitor_period=16,
+    )
+    observed = []
+
+    def writer():
+        yield Store(BLK, 0xCAFE)
+        yield Compute(1000)
+        observed.append((yield Load(BLK)))
+
+    m.add_thread(0, writer())
+    # force exactly one deterministic flip instead of waiting on the
+    # lottery (rate is kept near zero so the lottery stays quiet); retry
+    # until the store has left its transient state and become eligible
+    def flip():
+        if m.injector.inject_cache_flip() is None:
+            m.engine.schedule(20, flip)
+
+    m.engine.schedule(60, flip)
+    m.run()
+    assert m.injector.stats.cache_flips == 1
+    assert m.monitor.stats.value_violations == 1
+    assert m.monitor.stats.corruptions_recovered == 1
+    assert observed == [0xCAFE]
+
+
+def test_inject_cache_flip_with_empty_caches_is_noop():
+    m = _machine(FaultConfig(cache_rate=1.0, policy="log"))
+    assert m.injector.inject_cache_flip() is None

@@ -1,0 +1,116 @@
+"""Protocol fuzzer: matrix sweep, oracles, minimizer, corpus replay."""
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.mem.backing import BackingStore
+from repro.verify.fuzz import (
+    FuzzFailure, FuzzTrace, approx_drops, generate_trace, load_corpus_trace,
+    minimize_trace, run_matrix, run_trace,
+)
+
+CORPUS = Path(__file__).parent / "corpus"
+
+
+class TestTrace:
+    def test_json_roundtrip(self):
+        trace = generate_trace(7)
+        again = FuzzTrace.from_json(trace.to_json())
+        assert again == trace
+
+    def test_generation_is_deterministic(self):
+        assert generate_trace(11) == generate_trace(11)
+        assert generate_trace(11) != generate_trace(12)
+
+    def test_store_values_are_unique(self):
+        trace = generate_trace(5)
+        values = [
+            b for ops in trace.ops for kind, _a, b in ops
+            if kind in ("store", "scribble")
+        ]
+        assert len(values) == len(set(values))
+
+
+class TestMatrix:
+    def test_200_runs_clean_within_budget(self):
+        """The acceptance gate: >= 200 seeded traces across the
+        {MESI, MOESI} x {+-Ghostwriter} matrix, zero violations, within
+        the CI time budget."""
+        t0 = time.time()
+        summary = run_matrix(range(60))
+        elapsed = time.time() - t0
+        assert summary["runs"] == 240
+        assert elapsed < 60, f"fuzz matrix too slow: {elapsed:.1f}s"
+
+    def test_jitter_runs_clean(self):
+        summary = run_matrix(range(5), jitter=3)
+        assert summary["runs"] == 20
+
+
+class TestOracles:
+    def test_fabricated_value_is_caught(self, monkeypatch):
+        """A (simulated) buggy memory path returning wrong fill data must
+        trip the load-provenance oracle."""
+        orig = BackingStore.read_block
+
+        def tampered(self, addr):
+            return [w ^ 0x5A5A for w in orig(self, addr)]
+
+        monkeypatch.setattr(BackingStore, "read_block", tampered)
+        trace = FuzzTrace(
+            seed=0, num_cores=2, d_distance=10,
+            ops=((("load", 0x8004, 0),), (("compute", 1, 0),)),
+        )
+        with pytest.raises(FuzzFailure, match="fabricated value"):
+            run_trace(trace, protocol="mesi", gw=False)
+
+    def test_failure_names_the_configuration(self, monkeypatch):
+        orig = BackingStore.read_block
+        monkeypatch.setattr(
+            BackingStore, "read_block",
+            lambda self, addr: [w ^ 1 for w in orig(self, addr)],
+        )
+        trace = FuzzTrace(
+            seed=42, num_cores=2, d_distance=10,
+            ops=((("load", 0x8004, 0),), (("compute", 1, 0),)),
+        )
+        with pytest.raises(FuzzFailure, match="seed=42 protocol=moesi"):
+            run_trace(trace, protocol="moesi", gw=False)
+
+
+class TestMinimizer:
+    def test_shrinks_to_the_needle(self):
+        trace = generate_trace(3)
+        assert trace.op_count() > 10
+
+        def failing(t):
+            return any(
+                kind == "store" for ops in t.ops for kind, _a, _b in ops
+            )
+
+        small = minimize_trace(trace, failing)
+        assert failing(small)
+        assert small.op_count() == 1
+        assert small.num_cores == 1
+
+    def test_rejects_passing_trace(self):
+        with pytest.raises(ValueError):
+            minimize_trace(generate_trace(0), lambda t: False)
+
+
+class TestCorpus:
+    def test_corpus_is_populated(self):
+        assert list(CORPUS.glob("*.json")), "regression corpus is empty"
+
+    @pytest.mark.parametrize(
+        "path", sorted(CORPUS.glob("*.json")), ids=lambda p: p.stem
+    )
+    def test_replay(self, path):
+        """Every corpus trace must still run clean under the full oracle
+        set AND still reproduce the race it was shrunk to pin down."""
+        trace = load_corpus_trace(path)
+        machine = run_trace(trace, protocol="mesi", gw=True)
+        assert approx_drops(machine) > 0, (
+            f"{path.name} no longer exhibits the GS/GI-drop race"
+        )

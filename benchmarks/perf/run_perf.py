@@ -1,0 +1,270 @@
+#!/usr/bin/env python
+"""Hot-path microbenchmark suite -> ``BENCH_perf.json``.
+
+Times the simulator paths the parallel-sweep PR optimized — same-cycle
+event dispatch, scribe similarity checks, L1 stats recording, the
+vectorized d-distance kernels, and one end-to-end workload run — and
+emits a machine-readable ``BENCH_perf.json`` so the performance
+trajectory is tracked from this PR on.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --check-only
+
+``--check-only`` runs every benchmark at a tiny op count and validates
+the emitted JSON against the schema — no timing thresholds — which is
+what CI's perf-smoke job executes.  Numbers from ``--check-only`` runs
+are *not* comparable to full runs.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+# allow `python benchmarks/perf/run_perf.py` without an explicit PYTHONPATH
+_SRC = Path(__file__).resolve().parents[2] / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+from repro.common.stats import StatGroup
+from repro.scribe.scribe_unit import ScribeUnit
+from repro.scribe.similarity import d_distance, is_similar
+from repro.sim.engine import Engine
+
+SCHEMA_VERSION = 1
+DEFAULT_OUT = "BENCH_perf.json"
+_SEED = 20210814  # the paper's publication date; fixed for repeatability
+
+
+def _word_pairs(n: int) -> list[tuple[int, int]]:
+    rng = random.Random(_SEED)
+    return [(rng.getrandbits(32), rng.getrandbits(32)) for _ in range(n)]
+
+
+# ---------------------------------------------------------------------
+# benchmark bodies: each returns (thunk, ops); the harness times thunk
+# ---------------------------------------------------------------------
+def bench_engine_spread_dispatch(n: int):
+    """Event dispatch with every event on its own cycle (heap-bound)."""
+    def thunk() -> None:
+        e = Engine()
+        cb = (lambda: None)
+        for i in range(n):
+            e.schedule(i, cb)
+        e.run()
+    return thunk, n
+
+
+def bench_engine_same_cycle_dispatch(n: int):
+    """Event dispatch with heavy same-cycle batching (the common shape:
+    every core and NoC hop schedules work for 'now + small delta')."""
+    cycles = max(1, n // 64)
+
+    def thunk() -> None:
+        e = Engine()
+        cb = (lambda: None)
+        for i in range(n):
+            e.schedule(i % cycles, cb)
+        e.run()
+    return thunk, n
+
+
+def bench_similarity_scalar(n: int):
+    """Scalar ``is_similar`` (the memoized-mask comparator path)."""
+    pairs = _word_pairs(n)
+
+    def thunk() -> None:
+        for a, b in pairs:
+            is_similar(a, b, 4)
+            is_similar(a, b, 8)
+    return thunk, 2 * n
+
+
+def bench_d_distance_scalar(n: int):
+    """Scalar ``d_distance`` (the Fig. 2 observe path's kernel)."""
+    pairs = _word_pairs(n)
+
+    def thunk() -> None:
+        for a, b in pairs:
+            d_distance(a, b)
+    return thunk, n
+
+
+def bench_scribe_check_observe(n: int):
+    """A programmed ScribeUnit's per-store ``observe`` + ``check``."""
+    pairs = _word_pairs(n)
+
+    def thunk() -> None:
+        unit = ScribeUnit(d_distance=8, enabled=True, stats=StatGroup("s"))
+        unit.program(8)
+        for a, b in pairs:
+            unit.observe(a, b)
+            unit.check(a, b)
+    return thunk, 2 * n
+
+
+def bench_stats_hot_counters(n: int):
+    """The counter-dict stats recording the L1 access path uses."""
+    def thunk() -> None:
+        g = StatGroup("l1")
+        c = g.counters("loads", "stores")
+        for _ in range(n):
+            c["loads"] += 1
+            c["stores"] += 1
+    return thunk, 2 * n
+
+
+def bench_ddistance_array(n: int):
+    """Vectorized d-distance + mask-similarity over uint32 arrays."""
+    from repro.analysis.ddistance import within_distance_array
+    from repro.scribe.similarity import d_distance_array
+
+    rng = np.random.default_rng(_SEED)
+    a = rng.integers(0, 2**32, size=n, dtype=np.uint32)
+    b = rng.integers(0, 2**32, size=n, dtype=np.uint32)
+
+    def thunk() -> None:
+        d_distance_array(a, b)
+        within_distance_array(a, b, 8)
+    return thunk, 2 * n
+
+
+def bench_workload_false_sharing(n: int):
+    """End-to-end simulator throughput on the Listing-1 microbenchmark
+    (ops = simulated cycles, so ops/s is simulated cycles per second)."""
+    from repro.harness.experiment import run_workload
+
+    ops_box = [1]
+
+    def thunk() -> None:
+        row = run_workload("bad_dot_product", d_distance=4, num_threads=4,
+                           seed=12345, n_points=n, max_value=7)
+        ops_box[0] = row.cycles
+    thunk()  # warm once so the reported op count is the real cycle count
+    return thunk, ops_box[0]
+
+
+#: (name, factory, full-size n, check-only n)
+BENCHMARKS: list[tuple[str, Callable, int, int]] = [
+    ("engine_spread_dispatch", bench_engine_spread_dispatch, 100_000, 500),
+    ("engine_same_cycle_dispatch", bench_engine_same_cycle_dispatch,
+     100_000, 500),
+    ("similarity_scalar", bench_similarity_scalar, 100_000, 500),
+    ("d_distance_scalar", bench_d_distance_scalar, 100_000, 500),
+    ("scribe_check_observe", bench_scribe_check_observe, 100_000, 500),
+    ("stats_hot_counters", bench_stats_hot_counters, 100_000, 500),
+    ("ddistance_array", bench_ddistance_array, 1_000_000, 1_000),
+    ("workload_false_sharing", bench_workload_false_sharing, 1024, 96),
+]
+
+
+def run_suite(*, check_only: bool = False, repeats: int = 3) -> dict:
+    """Execute every benchmark; returns the report dict (not yet written)."""
+    rows = []
+    for name, factory, n_full, n_check in BENCHMARKS:
+        n = n_check if check_only else n_full
+        thunk, ops = factory(n)
+        times = []
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            thunk()
+            times.append(time.perf_counter() - t0)
+        best = min(times)
+        rows.append({
+            "name": name,
+            "ops": int(ops),
+            "repeats": len(times),
+            "best_seconds": best,
+            "mean_seconds": sum(times) / len(times),
+            "ops_per_second": (ops / best) if best > 0 else 0.0,
+        })
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "mode": "check" if check_only else "full",
+        "python": sys.version.split()[0],
+        "benchmarks": rows,
+    }
+
+
+def validate_report(report: dict) -> None:
+    """Raise ``ValueError`` unless ``report`` matches the BENCH_perf.json
+    schema (used by ``--check-only``, the smoke test, and CI)."""
+    if not isinstance(report, dict):
+        raise ValueError("report must be a JSON object")
+    if report.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(f"schema_version must be {SCHEMA_VERSION}")
+    if report.get("mode") not in ("full", "check"):
+        raise ValueError("mode must be 'full' or 'check'")
+    if not isinstance(report.get("python"), str):
+        raise ValueError("python must be a version string")
+    rows = report.get("benchmarks")
+    if not isinstance(rows, list) or not rows:
+        raise ValueError("benchmarks must be a non-empty list")
+    names = set()
+    for row in rows:
+        if not isinstance(row, dict):
+            raise ValueError("each benchmark entry must be an object")
+        name = row.get("name")
+        if not isinstance(name, str) or not name or name in names:
+            raise ValueError(f"bad or duplicate benchmark name: {name!r}")
+        names.add(name)
+        if not (isinstance(row.get("ops"), int) and row["ops"] > 0):
+            raise ValueError(f"{name}: ops must be a positive int")
+        if not (isinstance(row.get("repeats"), int) and row["repeats"] > 0):
+            raise ValueError(f"{name}: repeats must be a positive int")
+        for key in ("best_seconds", "mean_seconds", "ops_per_second"):
+            val = row.get(key)
+            if not isinstance(val, (int, float)) or val < 0:
+                raise ValueError(f"{name}: {key} must be a number >= 0")
+    expected = {name for name, *_ in BENCHMARKS}
+    if names != expected:
+        raise ValueError(
+            f"benchmark set mismatch: missing {sorted(expected - names)}, "
+            f"unexpected {sorted(names - expected)}"
+        )
+
+
+def _render(report: dict) -> str:
+    header = f"{'benchmark':<28} {'ops':>9} {'best (s)':>10} {'ops/s':>12}"
+    lines = [header, "-" * len(header)]
+    for row in report["benchmarks"]:
+        lines.append(
+            f"{row['name']:<28} {row['ops']:>9} "
+            f"{row['best_seconds']:>10.4f} {row['ops_per_second']:>12.0f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(
+        prog="run_perf",
+        description="Hot-path microbenchmarks; emits BENCH_perf.json.",
+    )
+    p.add_argument("--out", default=DEFAULT_OUT, metavar="PATH",
+                   help=f"output JSON path (default {DEFAULT_OUT})")
+    p.add_argument("--check-only", action="store_true",
+                   help="tiny op counts + schema validation only "
+                        "(no meaningful timings); what CI runs")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timing repetitions per benchmark (best is kept)")
+    args = p.parse_args(argv)
+
+    report = run_suite(check_only=args.check_only,
+                       repeats=1 if args.check_only else args.repeats)
+    validate_report(report)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(_render(report))
+    print(f"[{report['mode']} mode; wrote {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Smoke test for the perf microbenchmark suite.
+
+Asserts the suite executes end to end in check-only mode and that the
+emitted ``BENCH_perf.json`` is schema-valid — no timing thresholds, so
+the test is robust on loaded CI runners.  Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -q
+"""
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def run_perf():
+    """The run_perf module, loaded by path (benchmarks/ is not a package)."""
+    path = Path(__file__).with_name("run_perf.py")
+    spec = importlib.util.spec_from_file_location("run_perf", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_check_only_emits_valid_report(run_perf, tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    assert run_perf.main(["--check-only", "--out", str(out)]) == 0
+    report = json.loads(out.read_text())
+    run_perf.validate_report(report)  # must not raise
+    assert report["mode"] == "check"
+    names = [row["name"] for row in report["benchmarks"]]
+    assert "engine_same_cycle_dispatch" in names
+    assert "scribe_check_observe" in names
+    assert "workload_false_sharing" in names
+
+
+def test_validator_rejects_bad_reports(run_perf):
+    good = run_perf.run_suite(check_only=True, repeats=1)
+    run_perf.validate_report(good)
+
+    with pytest.raises(ValueError):
+        run_perf.validate_report({})
+    bad_version = dict(good, schema_version=99)
+    with pytest.raises(ValueError):
+        run_perf.validate_report(bad_version)
+    missing_bench = dict(good, benchmarks=good["benchmarks"][:-1])
+    with pytest.raises(ValueError):
+        run_perf.validate_report(missing_bench)
+    negative_time = dict(good, benchmarks=[
+        dict(good["benchmarks"][0], best_seconds=-1.0)
+    ] + good["benchmarks"][1:])
+    with pytest.raises(ValueError):
+        run_perf.validate_report(negative_time)

@@ -8,17 +8,45 @@ histogram during any run; this module aggregates and summarizes them.
 """
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.common.stats import HistogramStat
 from repro.common.types import WORD_BITS
+from repro.scribe.similarity import SIMILARITY_MASKS
 from repro.sim.machine import Machine
 
 __all__ = [
     "machine_store_histogram",
     "cdf_from_histogram",
+    "within_distance_array",
     "SimilarityProfile",
 ]
+
+
+@lru_cache(maxsize=None)
+def _mask_u32(d: int) -> np.uint32:
+    """Memoized uint32 comparator mask for d-distance ``d`` (the same
+    :data:`~repro.scribe.similarity.SIMILARITY_MASKS` table the live
+    scribe units use, cast once per d instead of once per call)."""
+    return np.uint32(SIMILARITY_MASKS[d])
+
+
+def within_distance_array(a: np.ndarray, b: np.ndarray,
+                          d: int) -> np.ndarray:
+    """Vectorized word-similarity check: ``out[i]`` is True when
+    ``a[i]`` and ``b[i]`` are d-distance similar.
+
+    Mask-compare form of the scribe comparator (one XOR + AND over the
+    whole array, no per-element bit-length), equivalent to
+    ``d_distance_array(a, b) <= d`` — the property tests pin the two
+    paths to each other.
+    """
+    if not 0 <= d <= WORD_BITS:
+        raise ValueError(f"d out of range: {d}")
+    xor = np.asarray(a, dtype=np.uint32) ^ np.asarray(b, dtype=np.uint32)
+    return (xor & _mask_u32(d)) == 0
 
 
 def machine_store_histogram(machine: Machine) -> HistogramStat:

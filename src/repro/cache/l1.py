@@ -79,6 +79,19 @@ class L1Controller:
         self._gi_timer_armed = False
         self._block_bytes = cfg.block_bytes
         self._word_shift = 2  # 4-byte words
+        # hot-path bindings: the access path runs once per simulated
+        # memory reference, so its counters are bumped through the live
+        # counter dict (one item access each) rather than StatGroup's
+        # attribute protocol, and the scribe entry points are pre-bound
+        self._c = stats.counters(
+            "loads", "load_hits", "load_misses", "load_miss_on_I",
+            "approx_load_hits", "stores", "store_hits", "store_misses",
+            "store_miss_on_S", "store_miss_on_I", "approx_store_hits",
+            "gs_store_hits", "gi_store_hits", "gs_serviced", "gi_serviced",
+            "budget_fallbacks", "structural_stalls", "misses_issued",
+        )
+        self._scribe_observe = self.scribe.observe
+        self._scribe_check = self.scribe.check
         #: optional observer: fn(cycle, node, block, old_state, new_state, why)
         self.transition_hook: Callable[..., None] | None = None
         #: optional observer of every access:
@@ -158,14 +171,14 @@ class L1Controller:
         block = self._block_base(addr)
         off = self._word_off(addr)
         line = self.array.lookup(block)
-        st = self.stats
+        st = self._c
 
         if atype is AccessType.LOAD:
-            st.loads += 1
+            st["loads"] += 1
             if line is not None and line.state.readable:
-                st.load_hits += 1
+                st["load_hits"] += 1
                 if line.state.approximate:
-                    st.approx_load_hits += 1
+                    st["approx_load_hits"] += 1
                 return True, line.words[off]
             if line is not None and line.state.transient:
                 raise ProtocolError(
@@ -173,19 +186,19 @@ class L1Controller:
                     "outstanding transaction (cores are single-outstanding)"
                 )
             if line is not None:  # tag present, state I
-                st.load_miss_on_I += 1
-            st.load_misses += 1
+                st["load_miss_on_I"] += 1
+            st["load_misses"] += 1
             self._start_miss(atype, addr, value, on_done)
             return False, None
 
         # stores and scribbles -----------------------------------------
-        st.stores += 1
+        st["stores"] += 1
         if value is None:
             raise ValueError("store requires a value")
         if line is not None and line.words is not None:
             # Fig. 2 instrumentation: write value vs resident word,
             # irrespective of coherence state.
-            self.scribe.observe(value, line.words[off])
+            self._scribe_observe(value, line.words[off])
 
         if line is not None and line.state.transient:
             raise ProtocolError(
@@ -199,12 +212,12 @@ class L1Controller:
                 line.words[off] = value
                 self._set_state(line, _S.M, "store hit on E")
                 self._commit(line)
-                st.store_hits += 1
+                st["store_hits"] += 1
                 return True, None
             if state is _S.M:
                 line.words[off] = value
                 self._commit(line)
-                st.store_hits += 1
+                st["store_hits"] += 1
                 return True, None
             if state is _S.GS or state is _S.GI:
                 # Scribbles re-check similarity in every state (§3.1: the
@@ -224,17 +237,17 @@ class L1Controller:
                     and (line.aux or 0) >= budget
                 )
                 if over_budget:
-                    st.budget_fallbacks += 1
+                    st["budget_fallbacks"] += 1
                 if over_budget or (
-                    atype is AccessType.SCRIBBLE and not self.scribe.check(
+                    atype is AccessType.SCRIBBLE and not self._scribe_check(
                         value, line.words[off]
                     )
                 ):
                     if state is _S.GS:
-                        st.store_miss_on_S += 1
+                        st["store_miss_on_S"] += 1
                     else:
-                        st.store_miss_on_I += 1
-                    st.store_misses += 1
+                        st["store_miss_on_I"] += 1
+                    st["store_misses"] += 1
                     self._start_miss(atype, addr, value, on_done)
                     return False, None
                 # hit: these stores would have been coherence misses in
@@ -242,12 +255,12 @@ class L1Controller:
                 # S/I), so they count toward the Fig. 7 numerators.
                 line.words[off] = value
                 line.aux = (line.aux or 0) + 1  # per-episode write budget
-                st.store_hits += 1
-                st.approx_store_hits += 1
+                st["store_hits"] += 1
+                st["approx_store_hits"] += 1
                 if state is _S.GS:
-                    st.gs_store_hits += 1
+                    st["gs_store_hits"] += 1
                 else:
-                    st.gi_store_hits += 1
+                    st["gi_store_hits"] += 1
                 return True, None
             if state is _S.O:
                 # MOESI Owned: dirty + shared, read-only.  Scribbles never
@@ -255,47 +268,47 @@ class L1Controller:
                 # master, and hiding updates in it (or dropping it on an
                 # invalidation) would discard *committed* data, not an
                 # approximation.  Stores take the conventional UPGRADE.
-                st.store_miss_on_S += 1
-                st.store_misses += 1
+                st["store_miss_on_S"] += 1
+                st["store_misses"] += 1
                 self._start_miss(atype, addr, value, on_done)
                 return False, None
             if state is _S.S:
                 if (
                     atype is AccessType.SCRIBBLE
                     and self.gw.enabled
-                    and self.scribe.check(value, line.words[off])
+                    and self._scribe_check(value, line.words[off])
                 ):
                     line.words[off] = value
                     line.aux = 1  # first write of this approximate episode
                     self._set_state(line, _S.GS, "scribble serviced by GS")
-                    st.store_hits += 1
-                    st.gs_serviced += 1
+                    st["store_hits"] += 1
+                    st["gs_serviced"] += 1
                     return True, None
-                st.store_miss_on_S += 1
-                st.store_misses += 1
+                st["store_miss_on_S"] += 1
+                st["store_misses"] += 1
                 self._start_miss(atype, addr, value, on_done)
                 return False, None
             if state is _S.I:
                 if (
                     atype is AccessType.SCRIBBLE
                     and self.gw.enabled
-                    and self.scribe.check(value, line.words[off])
+                    and self._scribe_check(value, line.words[off])
                 ):
                     line.words[off] = value
                     line.aux = 1  # first write of this approximate episode
                     self._set_state(line, _S.GI, "scribble serviced by GI")
                     self._enter_gi(block)
-                    st.store_hits += 1
-                    st.gi_serviced += 1
+                    st["store_hits"] += 1
+                    st["gi_serviced"] += 1
                     return True, None
-                st.store_miss_on_I += 1
-                st.store_misses += 1
+                st["store_miss_on_I"] += 1
+                st["store_misses"] += 1
                 self._start_miss(atype, addr, value, on_done)
                 return False, None
             raise ProtocolError(f"unhandled L1 state {state}")
 
         # tag miss entirely
-        st.store_misses += 1
+        st["store_misses"] += 1
         self._start_miss(atype, addr, value, on_done)
         return False, None
 
@@ -313,7 +326,7 @@ class L1Controller:
         # A request for a block with an un-acked PUT in flight would let
         # the request overtake the writeback; hardware stalls, so do we.
         if block in self._wb_buffer or self.mshrs.full():
-            self.stats.structural_stalls += 1
+            self._c["structural_stalls"] += 1
             self.engine.schedule(
                 _RETRY_DELAY, lambda: self._start_miss(atype, addr, value, on_done)
             )
@@ -327,7 +340,7 @@ class L1Controller:
             if line is None:
                 # every way pinned (cannot normally happen with one
                 # outstanding miss per core, but stay safe)
-                self.stats.structural_stalls += 1
+                self._c["structural_stalls"] += 1
                 self.engine.schedule(
                     _RETRY_DELAY,
                     lambda: self._start_miss(atype, addr, value, on_done),
@@ -385,7 +398,7 @@ class L1Controller:
             on_complete=on_done, issued_at=self.engine.now,
         )
         self.mshrs.allocate(entry)
-        self.stats.misses_issued += 1
+        self._c["misses_issued"] += 1
         self._send(mtype, block, self._home(block), requestor=self.node)
         _ = off  # word offset re-derived at fill time
 

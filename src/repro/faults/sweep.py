@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.harness.experiment import run_workload
+from repro.harness.parallel import GridFailure, GridPoint, run_grid
 from repro.workloads.registry import ALL_WORKLOADS, PAPER_WORKLOADS
 
 __all__ = ["FaultSweepResult", "fault_sweep", "main", "DEFAULT_RATES"]
@@ -86,13 +86,18 @@ def fault_sweep(workload: str = "histogram", *,
                 num_threads: int = 8, scale: float = 0.25,
                 rates: tuple[float, ...] = DEFAULT_RATES,
                 seeds_per_cell: int = 1,
-                seed: int = 12345) -> FaultSweepResult:
-    """Run the full (rate x config) grid and average over fault seeds.
+                seed: int = 12345, jobs: int = 1) -> FaultSweepResult:
+    """Run the full (rate x config x fault-seed) grid and average over
+    fault seeds.
 
     Every run shares the workload seed (identical inputs and thread
     programs); only the fault seed varies inside a cell, so differences
     between cells are attributable to the injected faults and the
-    protocol's response alone.
+    protocol's response alone.  ``jobs=N`` fans the grid out over a
+    process pool (:mod:`repro.harness.parallel`); a run killed by
+    control-data corruption comes back as a
+    :class:`~repro.harness.parallel.GridFailure` and is tallied as a
+    crash, exactly as in the serial path.
     """
     if workload not in ALL_WORKLOADS:
         raise KeyError(
@@ -101,27 +106,35 @@ def fault_sweep(workload: str = "histogram", *,
         )
     cls = PAPER_WORKLOADS.get(workload)
     metric = cls.error_metric if cls is not None else "error"
-    cells: dict = {}
-    for rate in rates:
-        for label, d in _CONFIGS:
-            errors: list[float] = []
-            crashes = 0
-            for k in range(seeds_per_cell):
-                try:
-                    row = run_workload(
-                        workload, d_distance=d, num_threads=num_threads,
-                        scale=scale, seed=seed,
-                        fault_rate=rate, fault_seed=1 + k,
-                        fault_policy="log",
-                    )
-                except Exception:
-                    # control-data corruption (e.g. a flipped index) kills
-                    # the run; tally it instead of aborting the sweep
-                    crashes += 1
-                else:
-                    errors.append(row.error_pct)
-            mean = sum(errors) / len(errors) if errors else None
-            cells[(rate, label)] = (mean, crashes, seeds_per_cell)
+    grid = [
+        (rate, label,
+         GridPoint(workload,
+                   dict(d_distance=d, num_threads=num_threads, scale=scale,
+                        seed=seed, fault_rate=rate, fault_seed=1 + k,
+                        fault_policy="log"),
+                   label=f"{label} rate={rate:g} fault_seed={1 + k}"))
+        for rate in rates
+        for label, d in _CONFIGS
+        for k in range(seeds_per_cell)
+    ]
+    outcomes = run_grid([p for _r, _l, p in grid], jobs=jobs)
+    errors: dict[tuple, list[float]] = {}
+    crashes: dict[tuple, int] = {}
+    for (rate, label, _point), outcome in zip(grid, outcomes):
+        key = (rate, label)
+        errors.setdefault(key, [])
+        crashes.setdefault(key, 0)
+        if isinstance(outcome, GridFailure):
+            # control-data corruption (e.g. a flipped index) killed the
+            # run; tally it instead of aborting the sweep
+            crashes[key] += 1
+        else:
+            errors[key].append(outcome.error_pct)
+    cells = {
+        key: (sum(errs) / len(errs) if errs else None,
+              crashes[key], seeds_per_cell)
+        for key, errs in errors.items()
+    }
     return FaultSweepResult(workload=workload, metric=metric,
                             rates=tuple(rates), cells=cells)
 
@@ -147,13 +160,16 @@ def main(argv: list[str] | None = None) -> int:
                    help="fault seeds averaged per table cell")
     p.add_argument("--seed", type=int, default=12345,
                    help="workload input seed (shared by every run)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for the (rate x config x seed) "
+                        "grid (results identical to --jobs 1)")
     args = p.parse_args(argv)
 
     t0 = time.time()
     result = fault_sweep(
         args.workload, num_threads=args.threads, scale=args.scale,
         rates=tuple(args.rates), seeds_per_cell=args.seeds_per_cell,
-        seed=args.seed,
+        seed=args.seed, jobs=args.jobs,
     )
     print(result.render())
     print(f"[{time.time() - t0:.1f}s]")

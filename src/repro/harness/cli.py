@@ -51,6 +51,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         "(flips per million cycles; see repro.faults)")
     p.add_argument("--fault-seed", type=int, default=1,
                    help="PRNG seed for the fault injector")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="fan independent sweep points out over N worker "
+                        "processes (results are bit-identical to --jobs 1; "
+                        "see repro.harness.parallel)")
     return p
 
 
@@ -60,12 +64,23 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.fault_rate < 0:
         parser.error(f"--fault-rate must be >= 0, got {args.fault_rate:g}")
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     wanted = _ALL if args.figure == "all" else (args.figure,)
     cache = F.SweepCache(num_threads=args.threads, scale=args.scale,
                          seed=args.seed, protocol=args.protocol,
                          check_invariants=args.check_invariants,
                          fault_rate=args.fault_rate,
-                         fault_seed=args.fault_seed)
+                         fault_seed=args.fault_seed, jobs=args.jobs)
+    sweep_wanted = [f for f in wanted if f in _SWEEP_FIGS]
+    if args.jobs > 1 and sweep_wanted:
+        # warm the shared sweep across the pool before the per-figure
+        # drivers read it; fig7 alone only needs the d in {4, 8} legs
+        ds = (4, 8) if sweep_wanted == ["fig7"] else (0, 4, 8)
+        t0 = time.time()
+        cache.prefetch(ds=ds)
+        print(f"[sweep prefetch x{args.jobs} jobs: "
+              f"{time.time() - t0:.1f}s]\n")
     crashed = 0
     for name in wanted:
         t0 = time.time()
@@ -110,7 +125,8 @@ def _run_figure(name, args, cache):
     if name == "fig11":
         return F.fig11(cache)
     if name == "fig12":
-        return F.fig12(num_threads=args.threads, seed=args.seed)
+        return F.fig12(num_threads=args.threads, seed=args.seed,
+                       jobs=args.jobs)
     raise AssertionError(name)  # pragma: no cover - argparse restricts
 
 

@@ -156,8 +156,29 @@ def run_workload(name: str, *, d_distance: int,
 def run_pair(name: str, *, d_distance: int,
              num_threads: int = DEFAULT_THREADS,
              scale: float = DEFAULT_SCALE, seed: int = 12345,
-             **kwargs) -> tuple[RunRow, RunRow]:
-    """(baseline, ghostwriter) rows for one workload and d setting."""
+             jobs: int = 1, **kwargs) -> tuple[RunRow, RunRow]:
+    """(baseline, ghostwriter) rows for one workload and d setting.
+
+    ``jobs=2`` runs the two legs concurrently via the parallel executor
+    (:mod:`repro.harness.parallel`); the rows are bit-identical to the
+    serial ``jobs=1`` path either way.
+    """
+    if jobs > 1:
+        # local import: parallel builds on this module's run_workload
+        from repro.harness.parallel import GridFailure, GridPoint, run_grid
+        points = [
+            GridPoint(name, dict(d_distance=d, num_threads=num_threads,
+                                 scale=scale, seed=seed, **kwargs),
+                      label=f"d_distance={d}")
+            for d in (0, d_distance)
+        ]
+        base, gw = run_grid(points, jobs=jobs)
+        for row in (base, gw):
+            if isinstance(row, GridFailure):
+                raise RuntimeError(
+                    f"run_pair leg failed: {row.render()}"
+                )
+        return base, gw
     base = run_workload(name, d_distance=0, num_threads=num_threads,
                         scale=scale, seed=seed, **kwargs)
     gw = run_workload(name, d_distance=d_distance, num_threads=num_threads,

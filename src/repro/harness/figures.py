@@ -48,12 +48,18 @@ def _fmt_table(headers: list[str], rows: list[list[str]]) -> str:
 
 
 class SweepCache:
-    """Memoized (app, d) -> RunRow over the main evaluation sweep."""
+    """Memoized (app, d) -> RunRow over the main evaluation sweep.
+
+    ``jobs > 1`` makes :meth:`prefetch` fan the uncached grid points out
+    over a process pool (:mod:`repro.harness.parallel`); the cached rows
+    are bit-identical to serial runs.
+    """
 
     def __init__(self, num_threads: int = DEFAULT_THREADS,
                  scale: float = DEFAULT_SCALE, seed: int = 12345,
                  protocol: str = "mesi", check_invariants: bool = True,
-                 fault_rate: float = 0.0, fault_seed: int = 1) -> None:
+                 fault_rate: float = 0.0, fault_seed: int = 1,
+                 jobs: int = 1) -> None:
         self.num_threads = num_threads
         self.scale = scale
         self.seed = seed
@@ -61,26 +67,49 @@ class SweepCache:
         self.check_invariants = check_invariants
         self.fault_rate = fault_rate
         self.fault_seed = fault_seed
+        self.jobs = jobs
         self._rows: dict[tuple[str, int], RunRow] = {}
+
+    def _run_kwargs(self, app: str, d: int) -> dict:
+        return dict(
+            d_distance=d, num_threads=self.num_threads,
+            scale=self.scale, seed=self.seed, protocol=self.protocol,
+            check_invariants=self.check_invariants,
+            fault_rate=self.fault_rate, fault_seed=self.fault_seed,
+            fault_policy="log" if self.fault_rate else "abort",
+        )
 
     def row(self, app: str, d: int) -> RunRow:
         """Memoized run of (app, d); ``d=0`` is baseline MESI."""
         key = (app, d)
         if key not in self._rows:
-            self._rows[key] = run_workload(
-                app, d_distance=d, num_threads=self.num_threads,
-                scale=self.scale, seed=self.seed, protocol=self.protocol,
-                check_invariants=self.check_invariants,
-                fault_rate=self.fault_rate, fault_seed=self.fault_seed,
-                fault_policy="log" if self.fault_rate else "abort",
-            )
+            self._rows[key] = run_workload(app, **self._run_kwargs(app, d))
         return self._rows[key]
 
-    def prefetch(self, apps=None, ds=_D_SWEEP) -> None:
-        """Run (and cache) the full sweep up front."""
-        for app in apps or _APPS:
-            for d in ds:
-                self.row(app, d)
+    def prefetch(self, apps=None, ds=_D_SWEEP, jobs: int | None = None) -> None:
+        """Run (and cache) the sweep up front, optionally in parallel.
+
+        A grid point that fails in the parallel path is simply left
+        uncached: the next :meth:`row` call reruns it serially and
+        raises its real exception, exactly as the serial path would.
+        """
+        jobs = self.jobs if jobs is None else jobs
+        keys = [(app, d) for app in (apps or _APPS) for d in ds
+                if (app, d) not in self._rows]
+        if jobs > 1 and len(keys) > 1:
+            from repro.harness.parallel import (
+                GridFailure, GridPoint, run_grid,
+            )
+            points = [
+                GridPoint(app, self._run_kwargs(app, d), label=f"{app} d={d}")
+                for app, d in keys
+            ]
+            for key, outcome in zip(keys, run_grid(points, jobs=jobs)):
+                if not isinstance(outcome, GridFailure):
+                    self._rows[key] = outcome
+            return
+        for app, d in keys:
+            self.row(app, d)
 
 
 # ---------------------------------------------------------------------
@@ -441,14 +470,21 @@ class Fig12Result:
 
 
 def fig12(timeouts=(128, 512, 1024), num_threads: int = DEFAULT_THREADS,
-          n_points: int = 4096, seed: int = 12345) -> Fig12Result:
+          n_points: int = 4096, seed: int = 12345,
+          jobs: int = 1) -> Fig12Result:
     """GI-timeout sensitivity sweep on the Listing-1 microbenchmark."""
+    from repro.harness.parallel import GridFailure, GridPoint, run_grid
+    points = [
+        GridPoint("bad_dot_product",
+                  dict(d_distance=4, num_threads=num_threads, seed=seed,
+                       gi_timeout=timeout, n_points=n_points, max_value=3),
+                  label=f"gi_timeout={timeout}")
+        for timeout in timeouts
+    ]
     gi_pct, err = [], []
-    for timeout in timeouts:
-        row = run_workload(
-            "bad_dot_product", d_distance=4, num_threads=num_threads,
-            seed=seed, gi_timeout=timeout, n_points=n_points, max_value=3,
-        )
+    for point, row in zip(points, run_grid(points, jobs=jobs)):
+        if isinstance(row, GridFailure):
+            raise RuntimeError(f"fig12 point failed: {row.render()}")
         gi_pct.append(row.gi_serviced_pct)
         err.append(row.error_pct)
     return Fig12Result(list(timeouts), gi_pct, err)

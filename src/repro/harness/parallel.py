@@ -1,0 +1,203 @@
+"""Parallel sweep executor: fan grid points out over a process pool.
+
+Every sensitivity study in the harness — the figure sweeps, the ablation
+grids, the fault-rate tables — is a list of *independent* simulator runs
+that were, until this module, replayed serially through one Python event
+loop.  ``fan_out``/``run_grid`` execute such a grid across a
+``multiprocessing`` worker pool while preserving the property the whole
+verification story rests on: **the aggregated results are bit-identical
+to a serial run** (see ``tests/harness/test_parallel.py``).
+
+Design points:
+
+* *Chunked job queue* — jobs are submitted in contiguous chunks
+  (``chunk_size``, default ~4 chunks per worker) so per-job IPC overhead
+  amortizes while stragglers still rebalance across the pool.
+* *Per-job seed derivation* — grid points that do not pin their own
+  ``seed`` get one derived deterministically from ``(base_seed, index)``
+  via :func:`derive_seed` (a keyed blake2b hash, *not* Python's
+  process-salted ``hash()``), so results never depend on worker
+  scheduling or ``PYTHONHASHSEED``.
+* *Crash isolation* — a grid point that raises (e.g. a
+  :class:`~repro.verify.watchdog.DeadlockError` from a genuinely
+  deadlocking configuration, or a crash under fault injection) is
+  reported as a :class:`GridFailure` row at its index; sibling points
+  complete normally.  A worker process dying outright only fails the
+  chunk it was running.
+* *Ordered aggregation* — results come back keyed by submission index
+  and are returned in input order, so callers can ``zip`` them with
+  their parameter values exactly as in the serial code path.
+
+``jobs=1`` executes inline in the calling process (no pool, no pickling)
+and is the reference path the parallel path is tested against.
+"""
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.harness.experiment import RunRow, run_workload
+
+__all__ = [
+    "GridPoint",
+    "GridFailure",
+    "derive_seed",
+    "fan_out",
+    "run_grid",
+    "default_chunk_size",
+]
+
+#: modulus for derived seeds: keep them positive 31-bit ints so every
+#: consumer (numpy included) accepts them
+_SEED_SPACE = 1 << 31
+
+
+def derive_seed(base_seed: int, *key: Any) -> int:
+    """Deterministic per-job seed: blake2b over ``(base_seed, *key)``.
+
+    Stable across processes, platforms and Python invocations —
+    deliberately *not* built on ``hash()``, which is salted per process.
+    """
+    text = repr((int(base_seed),) + tuple(key)).encode("utf-8")
+    digest = hashlib.blake2b(text, digest_size=8).digest()
+    return int.from_bytes(digest, "big") % _SEED_SPACE
+
+
+@dataclass(frozen=True, slots=True)
+class GridPoint:
+    """One unit of sweep work: a workload plus its run kwargs.
+
+    ``kwargs`` are passed verbatim to
+    :func:`repro.harness.experiment.run_workload`; a missing ``seed`` is
+    filled in by :func:`run_grid` from its ``base_seed`` (when given).
+    ``label`` is free-form context echoed into failure reports.
+    """
+
+    workload: str
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class GridFailure:
+    """A grid point that raised instead of producing a row."""
+
+    index: int
+    error_type: str
+    message: str
+    label: str = ""
+
+    def __bool__(self) -> bool:  # failed rows are falsy for easy filtering
+        return False
+
+    def render(self) -> str:
+        """One-line human-readable form for sweep tables."""
+        where = f" [{self.label}]" if self.label else ""
+        return f"FAILED{where} ({self.error_type}: {self.message})"
+
+
+def default_chunk_size(n_items: int, jobs: int) -> int:
+    """~4 chunks per worker: amortize IPC, keep stragglers rebalancing."""
+    return max(1, -(-n_items // (max(1, jobs) * 4)))
+
+
+def _guarded(fn: Callable[[Any], Any], index: int, item: Any) -> Any:
+    """Run one job, converting an exception into a :class:`GridFailure`."""
+    try:
+        return fn(item)
+    except Exception as exc:
+        label = getattr(item, "label", "") or getattr(item, "workload", "")
+        return GridFailure(index=index, error_type=type(exc).__name__,
+                           message=str(exc), label=str(label))
+
+
+def _run_chunk(fn: Callable[[Any], Any], start: int,
+               chunk: Sequence[Any]) -> list[tuple[int, Any]]:
+    """Worker-side entry point: execute one contiguous chunk of jobs."""
+    return [(start + k, _guarded(fn, start + k, item))
+            for k, item in enumerate(chunk)]
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (cheap, inherits the imported simulator) where the
+    platform offers it; fall back to the portable ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def fan_out(fn: Callable[[Any], Any], items: Sequence[Any], *,
+            jobs: int = 1, chunk_size: int | None = None) -> list[Any]:
+    """Apply ``fn`` to every item, optionally across a process pool.
+
+    Returns one outcome per item, **in input order**: ``fn``'s return
+    value, or a :class:`GridFailure` if that item raised.  ``jobs=1``
+    (the default) runs inline — same guard, no processes — which is the
+    serial reference path.  ``fn`` and the items must be picklable when
+    ``jobs > 1``.
+    """
+    items = list(items)
+    jobs = max(1, int(jobs))
+    if jobs == 1 or len(items) <= 1:
+        return [_guarded(fn, i, item) for i, item in enumerate(items)]
+
+    if chunk_size is None:
+        chunk_size = default_chunk_size(len(items), jobs)
+    chunks = [(start, items[start:start + chunk_size])
+              for start in range(0, len(items), chunk_size)]
+    results: list[Any] = [None] * len(items)
+    with ProcessPoolExecutor(max_workers=min(jobs, len(chunks)),
+                             mp_context=_pool_context()) as pool:
+        future_chunk = {
+            pool.submit(_run_chunk, fn, start, chunk): (start, chunk)
+            for start, chunk in chunks
+        }
+        pending = set(future_chunk)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                start, chunk = future_chunk[fut]
+                try:
+                    pairs = fut.result()
+                except Exception as exc:
+                    # the worker process itself died (OOM, signal): fail
+                    # this chunk's rows, keep the rest of the grid alive
+                    pairs = [
+                        (start + k,
+                         GridFailure(index=start + k,
+                                     error_type=type(exc).__name__,
+                                     message=str(exc),
+                                     label=str(getattr(item, "label", ""))))
+                        for k, item in enumerate(chunk)
+                    ]
+                for index, outcome in pairs:
+                    results[index] = outcome
+    return results
+
+
+def _run_point(point: GridPoint) -> RunRow:
+    """Execute one grid point (module-level so it pickles to workers)."""
+    return run_workload(point.workload, **dict(point.kwargs))
+
+
+def run_grid(points: Sequence[GridPoint], *, jobs: int = 1,
+             chunk_size: int | None = None,
+             base_seed: int | None = None) -> list[RunRow | GridFailure]:
+    """Run a grid of workload points; one ``RunRow`` (or ``GridFailure``)
+    per point, in input order.
+
+    When ``base_seed`` is given, any point whose kwargs omit ``seed``
+    receives ``derive_seed(base_seed, index)`` — the same seed whether
+    the grid runs serially or across a pool.
+    """
+    resolved: list[GridPoint] = []
+    for index, point in enumerate(points):
+        kwargs = dict(point.kwargs)
+        if base_seed is not None and "seed" not in kwargs:
+            kwargs["seed"] = derive_seed(base_seed, index)
+        resolved.append(GridPoint(point.workload, kwargs, point.label))
+    return fan_out(_run_point, resolved, jobs=jobs, chunk_size=chunk_size)

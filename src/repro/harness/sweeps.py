@@ -3,15 +3,22 @@
 Library-level building blocks for sensitivity studies beyond the fixed
 figure set: sweep thread counts, d-distances, or GI timeouts over any
 registered workload and get back aligned result rows.
+
+Every sweep accepts ``jobs=N`` to fan its grid points out over a process
+pool (see :mod:`repro.harness.parallel`); results are aggregated in
+parameter order and are bit-identical to a serial run.  A point that
+raises — e.g. a configuration that genuinely deadlocks — becomes a
+:class:`~repro.harness.parallel.GridFailure` row; sibling points still
+complete.
 """
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.harness.experiment import (
-    DEFAULT_SCALE, DEFAULT_THREADS, RunRow, run_workload,
-)
+from repro.harness.experiment import DEFAULT_SCALE, DEFAULT_THREADS, RunRow
+from repro.harness.parallel import GridFailure, GridPoint, run_grid
 
 __all__ = ["SweepResult", "sweep_d_distance", "sweep_threads",
            "sweep_gi_timeout"]
@@ -19,29 +26,59 @@ __all__ = ["SweepResult", "sweep_d_distance", "sweep_threads",
 
 @dataclass(frozen=True, slots=True)
 class SweepResult:
-    """Rows of a 1-D sweep, aligned with its parameter values."""
+    """Rows of a 1-D sweep, aligned with its parameter values.
+
+    A row is either a :class:`RunRow` or, when that grid point crashed
+    in isolation, a :class:`GridFailure`.
+    """
 
     parameter: str
     values: tuple
-    rows: tuple[RunRow, ...]
+    rows: tuple[RunRow | GridFailure, ...]
 
     def __post_init__(self) -> None:
         if len(self.values) != len(self.rows):
             raise ValueError("values/rows length mismatch")
 
+    def failures(self) -> list[tuple[object, GridFailure]]:
+        """(parameter value, failure) for every crashed grid point."""
+        return [(v, r) for v, r in zip(self.values, self.rows)
+                if isinstance(r, GridFailure)]
+
+    def ok_rows(self) -> list[RunRow]:
+        """The successful rows, in parameter order."""
+        return [r for r in self.rows if not isinstance(r, GridFailure)]
+
     def series(self, attr: str) -> list[float]:
-        """Extract one column, e.g. ``series('cycles')``."""
-        return [float(getattr(r, attr)) for r in self.rows]
+        """Extract one column, e.g. ``series('cycles')``; a failed grid
+        point contributes ``nan``."""
+        return [
+            math.nan if isinstance(r, GridFailure) else float(getattr(r, attr))
+            for r in self.rows
+        ]
 
     def speedups_vs_first(self) -> list[float]:
         """Cycle-count speedup of each point relative to the first."""
-        base = self.rows[0].cycles
-        return [base / r.cycles for r in self.rows]
+        first = self.rows[0]
+        if isinstance(first, GridFailure):
+            raise ValueError(
+                f"cannot normalize speedups: first sweep point "
+                f"({self.parameter}={self.values[0]!r}) failed "
+                f"({first.error_type}: {first.message})"
+            )
+        base = first.cycles
+        return [
+            math.nan if isinstance(r, GridFailure) else base / r.cycles
+            for r in self.rows
+        ]
 
     def render(self) -> str:
         """One-line-per-point text summary."""
         lines = [f"sweep over {self.parameter}"]
         for v, r in zip(self.values, self.rows):
+            if isinstance(r, GridFailure):
+                lines.append(f"  {self.parameter}={v!r:>6}: {r.render()}")
+                continue
             lines.append(
                 f"  {self.parameter}={v!r:>6}: cycles={r.cycles:>9} "
                 f"error={r.error_pct:8.3f}% GS%={r.gs_serviced_pct:5.1f} "
@@ -50,30 +87,39 @@ class SweepResult:
         return "\n".join(lines)
 
 
+def _sweep(parameter: str, values: Sequence, points: list[GridPoint], *,
+           jobs: int) -> SweepResult:
+    rows = run_grid(points, jobs=jobs)
+    return SweepResult(parameter, tuple(values), tuple(rows))
+
+
 def sweep_d_distance(workload: str, d_values: Sequence[int] = (0, 2, 4, 8, 16),
                      *, num_threads: int = DEFAULT_THREADS,
                      scale: float = DEFAULT_SCALE, seed: int = 12345,
-                     **kwargs) -> SweepResult:
+                     jobs: int = 1, **kwargs) -> SweepResult:
     """Accuracy/benefit trade-off curve over the d-distance knob
     (``d=0`` runs baseline MESI)."""
-    rows = tuple(
-        run_workload(workload, d_distance=d, num_threads=num_threads,
-                     scale=scale, seed=seed, **kwargs)
+    points = [
+        GridPoint(workload, dict(d_distance=d, num_threads=num_threads,
+                                 scale=scale, seed=seed, **kwargs),
+                  label=f"d_distance={d}")
         for d in d_values
-    )
-    return SweepResult("d_distance", tuple(d_values), rows)
+    ]
+    return _sweep("d_distance", d_values, points, jobs=jobs)
 
 
 def sweep_threads(workload: str, thread_counts: Sequence[int] = (1, 2, 4, 8),
                   *, d_distance: int = 0, scale: float = DEFAULT_SCALE,
-                  seed: int = 12345, **kwargs) -> SweepResult:
+                  seed: int = 12345, jobs: int = 1,
+                  **kwargs) -> SweepResult:
     """Scalability curve (the Fig. 1 methodology, for any workload)."""
-    rows = tuple(
-        run_workload(workload, d_distance=d_distance, num_threads=t,
-                     scale=scale, seed=seed, **kwargs)
+    points = [
+        GridPoint(workload, dict(d_distance=d_distance, num_threads=t,
+                                 scale=scale, seed=seed, **kwargs),
+                  label=f"threads={t}")
         for t in thread_counts
-    )
-    return SweepResult("threads", tuple(thread_counts), rows)
+    ]
+    return _sweep("threads", thread_counts, points, jobs=jobs)
 
 
 def sweep_gi_timeout(workload: str,
@@ -81,12 +127,13 @@ def sweep_gi_timeout(workload: str,
                      *, d_distance: int = 4,
                      num_threads: int = DEFAULT_THREADS,
                      scale: float = DEFAULT_SCALE, seed: int = 12345,
-                     **kwargs) -> SweepResult:
+                     jobs: int = 1, **kwargs) -> SweepResult:
     """The Fig. 12 methodology, for any workload."""
-    rows = tuple(
-        run_workload(workload, d_distance=d_distance, gi_timeout=t,
-                     num_threads=num_threads, scale=scale, seed=seed,
-                     **kwargs)
+    points = [
+        GridPoint(workload, dict(d_distance=d_distance, gi_timeout=t,
+                                 num_threads=num_threads, scale=scale,
+                                 seed=seed, **kwargs),
+                  label=f"gi_timeout={t}")
         for t in timeouts
-    )
-    return SweepResult("gi_timeout", tuple(timeouts), rows)
+    ]
+    return _sweep("gi_timeout", timeouts, points, jobs=jobs)

@@ -14,16 +14,24 @@ observed store d-distances (Fig. 2) and pass/fail counts.
 from __future__ import annotations
 
 from repro.common.stats import StatGroup
-from repro.common.types import WORD_BITS
-from repro.scribe.similarity import d_distance, is_similar, is_similar_arithmetic
+from repro.common.types import WORD_BITS, WORD_MASK
+from repro.scribe.similarity import is_similar_arithmetic, similarity_mask
 
 __all__ = ["ScribeUnit"]
 
 
 class ScribeUnit:
-    """Per-L1 comparator state + instrumentation."""
+    """Per-L1 comparator state + instrumentation.
 
-    __slots__ = ("d_distance", "enabled", "mode", "stats", "_hist")
+    Hot-path layout: the comparator mask for the programmed d-distance
+    is memoized at (re)program time, the Fig. 2 histogram's bucket dict
+    and the pass/fail counters are bound directly, so the per-store
+    ``observe``/``check`` calls do one XOR + mask compare and one dict
+    increment each — no attribute-protocol dispatch, no allocation.
+    """
+
+    __slots__ = ("d_distance", "enabled", "mode", "stats", "_hist",
+                 "_mask", "_hist_counts", "_counters")
 
     def __init__(self, d_distance: int = 0, enabled: bool = False,
                  stats: StatGroup | None = None,
@@ -37,15 +45,17 @@ class ScribeUnit:
         self.mode = mode
         self.stats = stats if stats is not None else StatGroup("scribe")
         self._hist = self.stats.histogram("store_d_distance")
+        self._hist_counts = self._hist.counts
+        self._mask = similarity_mask(d_distance)
+        self._counters = self.stats.counters("passes", "fails", "reprograms")
 
     # -- setaprx / endaprx --------------------------------------------
     def program(self, d: int) -> None:
         """``setaprx d`` — reprogram the comparator and enable it."""
-        if not 0 <= d <= WORD_BITS:
-            raise ValueError(f"d-distance out of range: {d}")
+        self._mask = similarity_mask(d)  # validates d
         self.d_distance = d
         self.enabled = True
-        self.stats.reprograms += 1
+        self._counters["reprograms"] += 1
 
     def disable(self) -> None:
         """``endaprx`` — disable approximate transitions."""
@@ -55,7 +65,9 @@ class ScribeUnit:
     def observe(self, write_word: int, block_word: int) -> None:
         """Record a store's d-distance for Fig. 2 value-similarity profiling
         ("irrespective of coherence state")."""
-        self._hist.add(d_distance(write_word, block_word))
+        self._hist_counts[
+            ((write_word ^ block_word) & WORD_MASK).bit_length()
+        ] += 1
 
     def check(self, write_word: int, block_word: int) -> bool:
         """The ``approx`` output signal: True when the scribble may be
@@ -66,9 +78,6 @@ class ScribeUnit:
             ok = is_similar_arithmetic(write_word, block_word,
                                        self.d_distance)
         else:
-            ok = is_similar(write_word, block_word, self.d_distance)
-        if ok:
-            self.stats.passes += 1
-        else:
-            self.stats.fails += 1
+            ok = (write_word ^ block_word) & self._mask == 0
+        self._counters["passes" if ok else "fails"] += 1
         return ok

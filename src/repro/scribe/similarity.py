@@ -25,6 +25,8 @@ __all__ = [
     "d_distance",
     "is_similar",
     "is_similar_arithmetic",
+    "similarity_mask",
+    "SIMILARITY_MASKS",
     "d_distance_array",
     "similarity_cdf",
     "float_to_bits",
@@ -32,6 +34,23 @@ __all__ = [
     "int_to_bits",
     "bits_to_int",
 ]
+
+#: memoized comparator masks: ``SIMILARITY_MASKS[d]`` keeps the upper
+#: ``32 - d`` bits — exactly the bits the paper's XNOR comparator bank
+#: (Fig. 6) compares under d-distance ``d``.  Two words are d-similar
+#: iff ``(a ^ b) & SIMILARITY_MASKS[d] == 0``.  Precomputing the 33
+#: masks once removes the shift + range check from the per-store path.
+SIMILARITY_MASKS: tuple[int, ...] = tuple(
+    WORD_MASK ^ ((1 << d) - 1) for d in range(WORD_BITS + 1)
+)
+
+
+def similarity_mask(d: int) -> int:
+    """The memoized comparator mask for d-distance ``d`` (see
+    :data:`SIMILARITY_MASKS`)."""
+    if not 0 <= d <= WORD_BITS:
+        raise ValueError(f"d-distance must be in [0, {WORD_BITS}], got {d}")
+    return SIMILARITY_MASKS[d]
 
 
 def d_distance(a: int, b: int) -> int:
@@ -47,13 +66,14 @@ def is_similar(a: int, b: int, d: int) -> bool:
     """True when ``a`` and ``b`` differ only in the ``d`` low bits.
 
     This is the check the paper's scribe comparator performs (Fig. 6):
-    the upper ``32 - d`` bits must match exactly.
+    the upper ``32 - d`` bits must match exactly — reference semantics
+    ``((a ^ b) & WORD_MASK) >> d == 0``, realized via the memoized mask
+    table (``tests/scribe/test_similarity_properties.py`` pins the two
+    forms to each other).
     """
     if not 0 <= d <= WORD_BITS:
         raise ValueError(f"d-distance must be in [0, {WORD_BITS}], got {d}")
-    if d == WORD_BITS:
-        return True
-    return ((a ^ b) & WORD_MASK) >> d == 0
+    return (a ^ b) & SIMILARITY_MASKS[d] == 0
 
 
 def is_similar_arithmetic(a: int, b: int, d: int) -> bool:

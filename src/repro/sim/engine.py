@@ -50,6 +50,11 @@ class Engine:
 
     def schedule_at(self, cycle: int, callback: Callable[[], None]) -> None:
         """Run ``callback`` at an absolute cycle (>= now)."""
+        if cycle < self.now:
+            raise ValueError(
+                f"cannot schedule at absolute cycle {cycle}: it is in the "
+                f"past (current cycle is {self.now})"
+            )
         self.schedule(cycle - self.now, callback)
 
     def pending(self) -> int:
@@ -67,20 +72,36 @@ class Engine:
         self._running = True
         try:
             queue = self._queue
+            pop = heapq.heappop
+            executed = self.events_executed
             while queue:
-                cycle, _seq, callback = heapq.heappop(queue)
+                # batch dispatch: advance the clock once per distinct
+                # cycle, then drain every event at that cycle (including
+                # zero-delay events the callbacks add) in seq order —
+                # the limit checks and clock writes leave the per-event
+                # inner loop, which is the simulator's hottest path
+                cycle = queue[0][0]
                 if cycle > max_cycles:
+                    self.events_executed = executed
                     raise SimulationTimeout(self._timeout_message(
                         f"simulation exceeded {max_cycles} cycles"
                     ))
                 self.now = cycle
-                self.events_executed += 1
-                if max_events is not None and self.events_executed > max_events:
-                    raise SimulationTimeout(self._timeout_message(
-                        f"simulation exceeded {max_events} events"
-                    ))
-                callback()
+                if max_events is None:
+                    while queue and queue[0][0] == cycle:
+                        executed += 1
+                        pop(queue)[2]()
+                else:
+                    while queue and queue[0][0] == cycle:
+                        executed += 1
+                        if executed > max_events:
+                            self.events_executed = executed
+                            raise SimulationTimeout(self._timeout_message(
+                                f"simulation exceeded {max_events} events"
+                            ))
+                        pop(queue)[2]()
         finally:
+            self.events_executed = executed
             self._running = False
         return self.now
 
@@ -90,7 +111,7 @@ class Engine:
         msg = (
             f"{what} at cycle {self.now} "
             f"({self.events_executed} events executed, "
-            f"{len(self._queue) + 1} events still pending); "
+            f"{len(self._queue)} events still pending); "
             "likely deadlock or unfinished thread program"
         )
         if self.timeout_hook is not None:

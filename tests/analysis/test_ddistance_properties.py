@@ -1,0 +1,90 @@
+"""Property tests for the vectorized d-distance kernels.
+
+Pins the numpy fast paths (``d_distance_array`` exponent trick,
+``within_distance_array`` memoized mask compare) to the scalar
+reference implementations for random words and every d in 0..32.
+"""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.ddistance import (
+    SimilarityProfile, cdf_from_histogram, within_distance_array,
+)
+from repro.common.stats import HistogramStat
+from repro.common.types import WORD_BITS, WORD_MASK
+from repro.scribe.similarity import (
+    d_distance, d_distance_array, is_similar, similarity_cdf,
+)
+
+word_lists = st.lists(st.integers(0, WORD_MASK), min_size=1, max_size=32)
+
+
+class TestVectorizedAgainstScalar:
+    @settings(max_examples=60)
+    @given(word_lists, word_lists)
+    def test_d_distance_array_matches_scalar(self, xs, ys):
+        n = min(len(xs), len(ys))
+        a = np.array(xs[:n], dtype=np.uint32)
+        b = np.array(ys[:n], dtype=np.uint32)
+        expected = [d_distance(int(x), int(y)) for x, y in zip(a, b)]
+        assert d_distance_array(a, b).tolist() == expected
+
+    def test_within_distance_array_matches_scalar_all_d(self):
+        rng = np.random.default_rng(42)
+        a = rng.integers(0, 2**32, size=256, dtype=np.uint32)
+        b = rng.integers(0, 2**32, size=256, dtype=np.uint32)
+        # adversarial rows: equal words, MSB-only diff, off-by-one
+        a = np.concatenate([a, [0, 0, 0x80000000, 1]]).astype(np.uint32)
+        b = np.concatenate([b, [0, 0x80000000, 0x80000000, 0]]).astype(np.uint32)
+        for d in range(WORD_BITS + 1):
+            got = within_distance_array(a, b, d)
+            expected = [is_similar(int(x), int(y), d) for x, y in zip(a, b)]
+            assert got.tolist() == expected, f"d={d}"
+
+    def test_within_distance_equals_distance_threshold(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 2**32, size=512, dtype=np.uint32)
+        b = rng.integers(0, 2**32, size=512, dtype=np.uint32)
+        dist = d_distance_array(a, b)
+        for d in (0, 1, 4, 8, 16, 31, 32):
+            assert (within_distance_array(a, b, d) == (dist <= d)).all()
+
+    def test_within_distance_rejects_bad_d(self):
+        a = np.zeros(4, dtype=np.uint32)
+        for d in (-1, WORD_BITS + 1):
+            with pytest.raises(ValueError):
+                within_distance_array(a, a, d)
+
+
+class TestCdfProperties:
+    @given(st.lists(st.integers(0, WORD_BITS), min_size=1, max_size=64))
+    def test_similarity_cdf_monotone_and_normalized(self, distances):
+        cdf = similarity_cdf(np.array(distances))
+        assert len(cdf) == WORD_BITS + 1
+        assert (np.diff(cdf) >= 0).all()
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_histogram_cdf_matches_similarity_cdf(self):
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 2**32, size=300, dtype=np.uint32)
+        b = rng.integers(0, 2**32, size=300, dtype=np.uint32)
+        distances = d_distance_array(a, b)
+        hist = HistogramStat()
+        for d in distances.tolist():
+            hist.add(d)
+        np.testing.assert_allclose(
+            cdf_from_histogram(hist), similarity_cdf(distances)
+        )
+
+    def test_profile_fraction_within_monotone(self):
+        hist = HistogramStat()
+        rng = np.random.default_rng(11)
+        for d in rng.integers(0, WORD_BITS + 1, size=200).tolist():
+            hist.add(d)
+        prof = SimilarityProfile("rand", hist)
+        fracs = [prof.fraction_within(d) for d in range(WORD_BITS + 1)]
+        assert fracs == sorted(fracs)
+        assert prof.silent_store_fraction == fracs[0]
+        assert fracs[-1] == pytest.approx(1.0)

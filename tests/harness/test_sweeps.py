@@ -1,16 +1,77 @@
 """Tests for the sweep helpers."""
+import math
+
 import pytest
 
 from repro.harness.experiment import RunRow
+from repro.harness.parallel import GridFailure
 from repro.harness.sweeps import (
     SweepResult, sweep_d_distance, sweep_gi_timeout, sweep_threads,
 )
+from repro.verify.watchdog import DeadlockError
 
 
 class TestSweepResult:
     def test_length_validation(self):
         with pytest.raises(ValueError):
             SweepResult("x", (1, 2), ())
+
+    def test_series_extracts_columns(self):
+        res = sweep_d_distance("bad_dot_product", d_values=(0, 8),
+                               num_threads=4, scale=1.0, n_points=128,
+                               max_value=7)
+        cycles = res.series("cycles")
+        assert len(cycles) == 2 and all(c > 0 for c in cycles)
+        assert res.series("error_pct")[0] == 0.0
+
+    def test_series_and_failures_with_failed_row(self):
+        ok = sweep_d_distance("bad_dot_product", d_values=(4,),
+                              num_threads=4, scale=1.0, n_points=128,
+                              max_value=7).rows[0]
+        bad = GridFailure(index=1, error_type="DeadlockError",
+                          message="wedged", label="d_distance=8")
+        res = SweepResult("d_distance", (4, 8), (ok, bad))
+        series = res.series("cycles")
+        assert series[0] == float(ok.cycles)
+        assert math.isnan(series[1])
+        assert res.failures() == [(8, bad)]
+        assert res.ok_rows() == [ok]
+        assert "FAILED" in res.render() and "DeadlockError" in res.render()
+
+    def test_speedups_require_ok_first_row(self):
+        bad = GridFailure(index=0, error_type="DeadlockError",
+                          message="wedged")
+        res = SweepResult("threads", (1,), (bad,))
+        with pytest.raises(ValueError, match="first sweep point"):
+            res.speedups_vs_first()
+
+
+class TestCrashIsolation:
+    def test_deadlocked_point_reported_siblings_complete(self, monkeypatch):
+        """A grid point that deadlocks becomes a failed row; the other
+        sweep points still produce real RunRows."""
+        import repro.harness.parallel as par
+        real = par.run_workload
+
+        def wedge_d8(name, **kwargs):
+            if kwargs.get("d_distance") == 8:
+                raise DeadlockError("no retirement for 2 intervals")
+            return real(name, **kwargs)
+        monkeypatch.setattr(par, "run_workload", wedge_d8)
+
+        res = sweep_d_distance("bad_dot_product", d_values=(0, 8, 4),
+                               num_threads=4, scale=1.0, n_points=128,
+                               max_value=7)
+        assert isinstance(res.rows[0], RunRow)
+        assert isinstance(res.rows[2], RunRow)
+        failure = res.rows[1]
+        assert isinstance(failure, GridFailure)
+        assert failure.error_type == "DeadlockError"
+        assert res.failures()[0][0] == 8
+        # aggregation helpers stay usable around the hole
+        assert not math.isnan(res.series("cycles")[0])
+        assert math.isnan(res.series("cycles")[1])
+        assert res.speedups_vs_first()[2] > 0
 
 
 class TestDDistanceSweep:

@@ -1,0 +1,125 @@
+"""Property tests pinning the memoized-mask similarity path to the
+reference bit-twiddling semantics (satellite of the parallel-sweep PR).
+
+The reference form is the paper's definition: ``a`` and ``b`` are
+d-distance similar iff ``((a ^ b) & WORD_MASK) >> d == 0`` (upper
+``32 - d`` bits equal).  The production path compares against the
+memoized :data:`SIMILARITY_MASKS` table instead; these tests assert the
+two are extensionally identical for random words and **every** d in
+0..32, plus the structural properties (reflexivity, monotonicity in d,
+agreement with ``d_distance``) all downstream reasoning relies on.
+"""
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import WORD_BITS, WORD_MASK
+from repro.scribe.scribe_unit import ScribeUnit
+from repro.scribe.similarity import (
+    SIMILARITY_MASKS, d_distance, is_similar, similarity_mask,
+)
+
+words = st.integers(min_value=0, max_value=WORD_MASK)
+
+
+def reference_is_similar(a: int, b: int, d: int) -> bool:
+    """The paper's bit-twiddling definition, written independently."""
+    if d >= WORD_BITS:
+        return True
+    return ((a ^ b) & WORD_MASK) >> d == 0
+
+
+class TestMaskTable:
+    def test_shape_and_endpoints(self):
+        assert len(SIMILARITY_MASKS) == WORD_BITS + 1
+        assert SIMILARITY_MASKS[0] == WORD_MASK      # d=0: all bits compared
+        assert SIMILARITY_MASKS[WORD_BITS] == 0      # d=32: nothing compared
+
+    def test_each_mask_keeps_exactly_the_upper_bits(self):
+        for d in range(WORD_BITS + 1):
+            assert similarity_mask(d) == (WORD_MASK >> d) << d
+
+    def test_out_of_range_rejected(self):
+        for d in (-1, WORD_BITS + 1):
+            with pytest.raises(ValueError):
+                similarity_mask(d)
+            with pytest.raises(ValueError):
+                is_similar(1, 2, d)
+
+
+class TestMaskPathEqualsReference:
+    @given(words, words, st.integers(0, WORD_BITS))
+    def test_hypothesis_random_words(self, a, b, d):
+        expected = reference_is_similar(a, b, d)
+        assert is_similar(a, b, d) == expected
+        assert ((a ^ b) & similarity_mask(d) == 0) == expected
+
+    def test_exhaustive_d_seeded_words(self):
+        """Every d in 0..32 against a seeded word-pair corpus, including
+        adversarial pairs around each power-of-two boundary."""
+        rng = random.Random(1234)
+        pairs = [(rng.getrandbits(32), rng.getrandbits(32))
+                 for _ in range(200)]
+        pairs += [(0, 0), (0, WORD_MASK), (WORD_MASK, WORD_MASK)]
+        for d in range(WORD_BITS + 1):
+            boundary = 1 << min(d, WORD_BITS - 1)
+            pairs_d = pairs + [(0, boundary), (0, boundary - 1),
+                               (boundary, boundary)]
+            for a, b in pairs_d:
+                assert is_similar(a, b, d) == reference_is_similar(a, b, d), \
+                    (a, b, d)
+
+    @given(words, words, st.integers(0, WORD_BITS))
+    def test_agrees_with_d_distance(self, a, b, d):
+        assert is_similar(a, b, d) == (d_distance(a, b) <= d)
+
+
+class TestStructuralProperties:
+    @given(words, st.integers(0, WORD_BITS))
+    def test_reflexive(self, a, d):
+        assert is_similar(a, a, d)
+
+    @given(words, words)
+    def test_symmetric(self, a, b):
+        for d in (0, 4, 8, 32):
+            assert is_similar(a, b, d) == is_similar(b, a, d)
+
+    @given(words, words)
+    def test_monotone_in_d(self, a, b):
+        """Once similar at some d, similar at every larger d."""
+        verdicts = [is_similar(a, b, d) for d in range(WORD_BITS + 1)]
+        assert verdicts == sorted(verdicts)  # False... then True...
+        assert verdicts[-1] is True          # d=32 accepts everything
+
+    @given(words, words)
+    def test_d_distance_is_the_threshold(self, a, b):
+        d = d_distance(a, b)
+        assert 0 <= d <= WORD_BITS
+        assert is_similar(a, b, d)
+        if d > 0:
+            assert not is_similar(a, b, d - 1)
+
+
+class TestScribeUnitUsesTheSamePath:
+    @settings(max_examples=40)
+    @given(words, words, st.integers(0, WORD_BITS))
+    def test_check_matches_reference(self, a, b, d):
+        unit = ScribeUnit(d_distance=0, enabled=True)
+        unit.program(d)
+        assert unit.check(a, b) == reference_is_similar(a, b, d)
+
+    def test_observe_histogram_matches_d_distance(self):
+        unit = ScribeUnit()
+        rng = random.Random(7)
+        pairs = [(rng.getrandbits(32), rng.getrandbits(32))
+                 for _ in range(64)]
+        for a, b in pairs:
+            unit.observe(a, b)
+        hist = unit.stats.histogram("store_d_distance")
+        assert hist.total() == 64
+        expected = {}
+        for a, b in pairs:
+            expected[d_distance(a, b)] = expected.get(d_distance(a, b), 0) + 1
+        assert hist.as_dict() == dict(sorted(expected.items()))

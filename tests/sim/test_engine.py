@@ -55,6 +55,32 @@ class TestScheduling:
         e.run()
         assert seen == [10]
 
+    def test_schedule_at_now_is_allowed(self):
+        e = Engine()
+        seen = []
+        e.schedule(5, lambda: e.schedule_at(5, lambda: seen.append(e.now)))
+        e.run()
+        assert seen == [5]
+
+    def test_schedule_at_past_cycle_rejected_clearly(self):
+        e = Engine()
+        captured = []
+
+        def late():
+            try:
+                e.schedule_at(3, lambda: None)
+            except ValueError as exc:
+                captured.append(str(exc))
+
+        e.schedule(10, late)
+        e.run()
+        [msg] = captured
+        # names the absolute cycle and the current clock, not a
+        # confusing negative delay
+        assert "absolute cycle 3" in msg
+        assert "current cycle is 10" in msg
+        assert "-" not in msg.split("cycle")[0]
+
 
 class TestRunControl:
     def test_timeout_raises(self):
@@ -102,6 +128,40 @@ class TestRunControl:
         e = Engine()
         e.run_until(42)
         assert e.now == 42
+
+    def test_events_executed_counts_everything(self):
+        e = Engine()
+        for i in range(7):
+            e.schedule(i % 3, lambda: None)
+        e.run()
+        assert e.events_executed == 7
+
+    def test_batched_same_cycle_dispatch_sees_new_events(self):
+        """Zero-delay events added by a same-cycle callback fire within
+        the same cycle, after already-queued same-cycle events."""
+        e = Engine()
+        order = []
+
+        def first():
+            order.append(("first", e.now))
+            e.schedule(0, lambda: order.append(("chained", e.now)))
+
+        e.schedule(4, first)
+        e.schedule(4, lambda: order.append(("second", e.now)))
+        e.run()
+        assert order == [("first", 4), ("second", 4), ("chained", 4)]
+
+    def test_max_events_counts_across_batches(self):
+        e = Engine()
+
+        def forever():
+            e.schedule(1, forever)
+
+        e.schedule(0, forever)
+        with pytest.raises(SimulationTimeout) as exc:
+            e.run(max_events=10)
+        assert "exceeded 10 events" in str(exc.value)
+        assert e.events_executed == 11
 
     def test_determinism(self):
         def trace():

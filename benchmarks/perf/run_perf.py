@@ -3,8 +3,10 @@
 
 Times the simulator paths the parallel-sweep PR optimized — same-cycle
 event dispatch, scribe similarity checks, L1 stats recording, the
-vectorized d-distance kernels, and one end-to-end workload run — and
-emits a machine-readable ``BENCH_perf.json`` so the performance
+vectorized d-distance kernels, and one end-to-end workload run — plus
+the observability layer's costs (raw EventBus fan-out and a fully
+traced workload run, against the untraced run for the overhead ratio) —
+and emits a machine-readable ``BENCH_perf.json`` so the performance
 trajectory is tracked from this PR on.
 
 Usage::
@@ -152,6 +154,38 @@ def bench_workload_false_sharing(n: int):
     return thunk, ops_box[0]
 
 
+def bench_event_bus_emit(n: int):
+    """Raw EventBus fan-out with one subscriber (the tracing fast path)."""
+    from repro.obs.events import Event, EventBus, EventKind
+
+    def thunk() -> None:
+        bus = EventBus()
+        sink = []
+        bus.subscribe(sink.append)
+        for i in range(n):
+            bus.emit(Event(i, EventKind.ACCESS, 0, 64 * i, "load", "hit"))
+    return thunk, n
+
+
+def bench_workload_obs_tracing(n: int):
+    """The false-sharing workload with full tracing on (events +
+    timeline), against ``workload_false_sharing`` for the overhead
+    ratio; ops = simulated cycles."""
+    from repro.harness.experiment import run_workload
+    from repro.harness.options import RunOptions
+
+    opts = RunOptions(trace_events=True, timeline_interval=1024)
+    ops_box = [1]
+
+    def thunk() -> None:
+        row = run_workload("bad_dot_product", d_distance=4, num_threads=4,
+                           seed=12345, n_points=n, max_value=7,
+                           options=opts)
+        ops_box[0] = row.cycles
+    thunk()  # warm once so the reported op count is the real cycle count
+    return thunk, ops_box[0]
+
+
 #: (name, factory, full-size n, check-only n)
 BENCHMARKS: list[tuple[str, Callable, int, int]] = [
     ("engine_spread_dispatch", bench_engine_spread_dispatch, 100_000, 500),
@@ -163,6 +197,8 @@ BENCHMARKS: list[tuple[str, Callable, int, int]] = [
     ("stats_hot_counters", bench_stats_hot_counters, 100_000, 500),
     ("ddistance_array", bench_ddistance_array, 1_000_000, 1_000),
     ("workload_false_sharing", bench_workload_false_sharing, 1024, 96),
+    ("event_bus_emit", bench_event_bus_emit, 200_000, 500),
+    ("workload_obs_tracing", bench_workload_obs_tracing, 1024, 96),
 ]
 
 

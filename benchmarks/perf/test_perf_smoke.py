@@ -37,6 +37,58 @@ def test_check_only_emits_valid_report(run_perf, tmp_path):
     assert "workload_false_sharing" in names
 
 
+def test_obs_benchmarks_present(run_perf, tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    assert run_perf.main(["--check-only", "--out", str(out)]) == 0
+    names = [row["name"] for row in
+             json.loads(out.read_text())["benchmarks"]]
+    assert "event_bus_emit" in names
+    assert "workload_obs_tracing" in names
+
+
+def test_untraced_machine_pays_no_structural_obs_cost():
+    """Tracing off means *no* obs objects exist: the hot paths see a
+    single ``is None`` attribute check and nothing else."""
+    from repro.harness.experiment import experiment_config
+    from repro.sim.machine import Machine
+
+    m = Machine(experiment_config(enabled=True, num_cores=2))
+    assert m.bus is None
+    assert m.recorder is None
+    assert m.flight is None
+    assert m.timeline is None
+    for l1 in m.l1s:
+        assert l1.bus is None
+        assert l1.scribe.bus is None
+    assert m.network.bus is None
+
+
+def test_obs_overhead_is_bounded():
+    """A fully traced run may cost more, but only by a sane factor; the
+    bound is deliberately generous so loaded CI runners stay green."""
+    import time
+
+    from repro.harness.experiment import run_workload
+    from repro.harness.options import RunOptions
+
+    kwargs = dict(d_distance=4, num_threads=4, seed=12345, n_points=512,
+                  max_value=7)
+    traced = RunOptions(trace_events=True, timeline_interval=1024)
+
+    def best_of(opts, n=2):
+        times = []
+        for _ in range(n):
+            t0 = time.perf_counter()
+            run_workload("bad_dot_product", options=opts, **kwargs)
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    best_of(RunOptions())                 # warm imports/caches
+    t_off = best_of(RunOptions())
+    t_on = best_of(traced)
+    assert t_on < 25 * t_off, (t_off, t_on)
+
+
 def test_validator_rejects_bad_reports(run_perf):
     good = run_perf.run_suite(check_only=True, repeats=1)
     run_perf.validate_report(good)

@@ -33,6 +33,7 @@ from repro.harness.experiment import (
     run_pair,
     run_workload,
 )
+from repro.harness.options import RunOptions
 from repro.sim.machine import Machine
 from repro.workloads.alloc import SharedMemory
 from repro.workloads.base import Workload, WorkloadResult
@@ -52,5 +53,5 @@ __all__ = [
     "Workload", "WorkloadResult", "SharedMemory",
     "ALL_WORKLOADS", "PAPER_WORKLOADS", "create",
     # runners
-    "run_workload", "run_pair",
+    "run_workload", "run_pair", "RunOptions",
 ]

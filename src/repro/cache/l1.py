@@ -30,6 +30,7 @@ from repro.common.config import SimConfig
 from repro.common.stats import StatGroup
 from repro.common.types import AccessType, CoherenceState, MessageType
 from repro.noc.network import Network
+from repro.obs.events import Event, EventKind
 from repro.scribe.scribe_unit import ScribeUnit
 from repro.sim.engine import Engine
 
@@ -73,6 +74,8 @@ class L1Controller:
             enabled=False,
             stats=stats.child("scribe"),
             mode=cfg.ghostwriter.similarity_mode,
+            node=node,
+            engine=engine,
         )
         self._wb_buffer: dict[int, deque[_WbEntry]] = {}
         self._gi_blocks: set[int] = set()
@@ -92,11 +95,11 @@ class L1Controller:
         )
         self._scribe_observe = self.scribe.observe
         self._scribe_check = self.scribe.check
+        #: event bus (repro.obs); None keeps every emission site to a
+        #: single attribute check
+        self.bus = None
         #: optional observer: fn(cycle, node, block, old_state, new_state, why)
         self.transition_hook: Callable[..., None] | None = None
-        #: optional observer of every access:
-        #: fn(cycle, node, atype, addr, value, hit)
-        self.access_hook: Callable[..., None] | None = None
         #: optional observer of conventional-store commits:
         #: fn(block, words) is called whenever this L1 becomes the unique
         #: M copy with new data (store hit on E/M, fill+store, upgrade
@@ -117,9 +120,16 @@ class L1Controller:
     def _set_state(self, line: CacheLine, new: CoherenceState, why: str) -> None:
         old = line.state
         line.state = new
-        hook = self.transition_hook
-        if hook is not None and old is not new and old is not None:
-            hook(self.engine.now, self.node, line.tag, old, new, why)
+        if old is not new and old is not None:
+            hook = self.transition_hook
+            if hook is not None:
+                hook(self.engine.now, self.node, line.tag, old, new, why)
+            bus = self.bus
+            if bus is not None:
+                bus.emit(Event(
+                    self.engine.now, EventKind.STATE, self.node, line.tag,
+                    f"{old.value}->{new.value}", why,
+                ))
 
     def _send(self, mtype: MessageType, block: int, dst: int, **kw) -> None:
         self.network.send(
@@ -154,12 +164,15 @@ class L1Controller:
         cores issue at most one outstanding access, which the MSHR layout
         relies on.
         """
-        if self.access_hook is not None:
-            hit, val = self._access(atype, addr, value, on_done)
-            self.access_hook(self.engine.now, self.node, atype, addr,
-                             value, hit)
-            return hit, val
-        return self._access(atype, addr, value, on_done)
+        bus = self.bus
+        if bus is None:
+            return self._access(atype, addr, value, on_done)
+        hit, val = self._access(atype, addr, value, on_done)
+        bus.emit(Event(
+            self.engine.now, EventKind.ACCESS, self.node, addr,
+            atype.value, "hit" if hit else "miss", value or 0,
+        ))
+        return hit, val
 
     def _access(
         self,
@@ -240,7 +253,7 @@ class L1Controller:
                     st["budget_fallbacks"] += 1
                 if over_budget or (
                     atype is AccessType.SCRIBBLE and not self._scribe_check(
-                        value, line.words[off]
+                        value, line.words[off], block
                     )
                 ):
                     if state is _S.GS:
@@ -276,7 +289,7 @@ class L1Controller:
                 if (
                     atype is AccessType.SCRIBBLE
                     and self.gw.enabled
-                    and self._scribe_check(value, line.words[off])
+                    and self._scribe_check(value, line.words[off], block)
                 ):
                     line.words[off] = value
                     line.aux = 1  # first write of this approximate episode
@@ -292,7 +305,7 @@ class L1Controller:
                 if (
                     atype is AccessType.SCRIBBLE
                     and self.gw.enabled
-                    and self._scribe_check(value, line.words[off])
+                    and self._scribe_check(value, line.words[off], block)
                 ):
                     line.words[off] = value
                     line.aux = 1  # first write of this approximate episode
@@ -327,6 +340,13 @@ class L1Controller:
         # the request overtake the writeback; hardware stalls, so do we.
         if block in self._wb_buffer or self.mshrs.full():
             self._c["structural_stalls"] += 1
+            bus = self.bus
+            if bus is not None:
+                bus.emit(Event(
+                    self.engine.now, EventKind.MSHR_STALL, self.node, block,
+                    atype.value,
+                    "wb-pending" if block in self._wb_buffer else "mshr-full",
+                ))
             self.engine.schedule(
                 _RETRY_DELAY, lambda: self._start_miss(atype, addr, value, on_done)
             )
@@ -341,6 +361,12 @@ class L1Controller:
                 # every way pinned (cannot normally happen with one
                 # outstanding miss per core, but stay safe)
                 self._c["structural_stalls"] += 1
+                bus = self.bus
+                if bus is not None:
+                    bus.emit(Event(
+                        self.engine.now, EventKind.MSHR_STALL, self.node,
+                        block, atype.value, "set-pinned",
+                    ))
                 self.engine.schedule(
                     _RETRY_DELAY,
                     lambda: self._start_miss(atype, addr, value, on_done),
@@ -435,10 +461,17 @@ class L1Controller:
             pass
         else:
             raise ProtocolError(f"evicting line in transient state {state}")
-        if self.transition_hook is not None and state is not _S.I:
-            self.transition_hook(
-                self.engine.now, self.node, block, state, _S.I, "eviction"
-            )
+        if state is not _S.I:
+            if self.transition_hook is not None:
+                self.transition_hook(
+                    self.engine.now, self.node, block, state, _S.I, "eviction"
+                )
+            bus = self.bus
+            if bus is not None:
+                bus.emit(Event(
+                    self.engine.now, EventKind.STATE, self.node, block,
+                    f"{state.value}->I", "eviction",
+                ))
         line.clear()
 
     # ------------------------------------------------------------------

@@ -15,6 +15,7 @@ from __future__ import annotations
 from repro.cache.sram import CacheArray, CacheLine
 from repro.common.config import CacheConfig
 from repro.common.stats import StatGroup
+from repro.obs.events import Event, EventKind
 
 __all__ = ["L2Slice", "EvictedBlock"]
 
@@ -32,18 +33,28 @@ class EvictedBlock:
 class L2Slice:
     """One address-interleaved slice of the shared L2."""
 
-    __slots__ = ("node", "cfg", "array", "stats")
+    __slots__ = ("node", "cfg", "array", "stats", "bus", "engine")
 
     def __init__(self, node: int, cfg: CacheConfig, stats: StatGroup) -> None:
         self.node = node
         self.cfg = cfg
         self.array = CacheArray(cfg)
         self.stats = stats
+        #: event bus + engine (repro.obs); wired by Machine.attach_bus
+        self.bus = None
+        self.engine = None
 
     def probe(self, block_addr: int) -> list[int] | None:
         """Read the block if resident (a copy); counts a read access."""
         self.stats.reads += 1
         line = self.array.lookup(block_addr)
+        bus = self.bus
+        if bus is not None:
+            bus.emit(Event(
+                self.engine.now if self.engine is not None else 0,
+                EventKind.L2, self.node, block_addr, "probe",
+                "miss" if line is None else "hit",
+            ))
         if line is None:
             self.stats.read_misses += 1
             return None
@@ -60,6 +71,13 @@ class L2Slice:
         """Install/overwrite a block; returns the victim (if any) for the
         caller to write back to DRAM when dirty."""
         self.stats.writes += 1
+        bus = self.bus
+        if bus is not None:
+            bus.emit(Event(
+                self.engine.now if self.engine is not None else 0,
+                EventKind.L2, self.node, block_addr, "fill",
+                "dirty" if dirty else "clean",
+            ))
         line = self.array.lookup(block_addr, touch=True)
         evicted: EvictedBlock | None = None
         if line is None:

@@ -35,6 +35,7 @@ from repro.common.types import DirState, MessageType
 from repro.mem.backing import BackingStore
 from repro.mem.dram import Dram
 from repro.noc.network import Network
+from repro.obs.events import Event, EventKind
 from repro.sim.engine import Engine
 
 __all__ = ["DirectoryAgent", "DirEntry"]
@@ -106,6 +107,8 @@ class DirectoryAgent:
         self.dram = dram
         self.stats = stats
         self._entries: dict[int, DirEntry] = {}
+        #: event bus (repro.obs); wired by Machine.attach_bus
+        self.bus = None
 
     # ------------------------------------------------------------------
     # plumbing
@@ -164,6 +167,12 @@ class DirectoryAgent:
         e.txn = _Txn(msg)
         mtype = msg.mtype
         self.stats.transactions += 1
+        bus = self.bus
+        if bus is not None:
+            bus.emit(Event(
+                self.engine.now, EventKind.DIR, self.node, msg.block_addr,
+                mtype.label, f"src={msg.src}", msg.src,
+            ))
         if mtype is MessageType.GETS:
             self._do_gets(e, msg)
         elif mtype is MessageType.GETX:

@@ -18,6 +18,7 @@ __all__ = [
     "GhostwriterConfig",
     "VerifyConfig",
     "FaultConfig",
+    "ObsConfig",
     "SimConfig",
     "table1_rows",
 ]
@@ -264,6 +265,55 @@ class FaultConfig:
 
 
 @dataclass(frozen=True, slots=True)
+class ObsConfig:
+    """Knobs of the observability layer (:mod:`repro.obs`).
+
+    Everything defaults to off; a default-constructed machine carries no
+    event bus and its hot paths pay one ``is None`` attribute check.
+    """
+
+    #: Attach an :class:`~repro.obs.events.EventBus` and record every
+    #: typed protocol event (state transitions, coherence messages, MSHR
+    #: stalls, scribble accept/reject) into an in-memory recorder.
+    trace_events: bool = False
+    #: Cycle period of the metrics timeline sampler; 0 disables it.  Each
+    #: sample snapshots traffic, miss-class and approximate-residency
+    #: counters into columnar numpy series.
+    timeline_interval: int = 0
+    #: Depth of the ring-buffer flight recorder whose tail is attached to
+    #: deadlock/invariant-violation dumps; 0 = off (but ``trace_events``
+    #: implies a default-depth ring, see :attr:`flight_depth`).
+    flight_recorder: int = 0
+
+    #: Ring depth implied by ``trace_events`` when ``flight_recorder`` is
+    #: left at 0.
+    DEFAULT_FLIGHT_DEPTH = 256
+
+    def __post_init__(self) -> None:
+        if self.timeline_interval < 0:
+            raise ValueError("timeline interval cannot be negative")
+        if self.flight_recorder < 0:
+            raise ValueError("flight-recorder depth cannot be negative")
+
+    @property
+    def flight_depth(self) -> int:
+        """Effective flight-recorder ring depth."""
+        if self.flight_recorder:
+            return self.flight_recorder
+        return self.DEFAULT_FLIGHT_DEPTH if self.trace_events else 0
+
+    @property
+    def bus_active(self) -> bool:
+        """True when the machine needs an event bus at construction."""
+        return self.trace_events or self.flight_depth > 0
+
+    @property
+    def active(self) -> bool:
+        """True when any observability mechanism is enabled."""
+        return self.bus_active or self.timeline_interval > 0
+
+
+@dataclass(frozen=True, slots=True)
 class SimConfig:
     """Top-level simulated-machine configuration (paper Table 1)."""
 
@@ -276,6 +326,7 @@ class SimConfig:
     ghostwriter: GhostwriterConfig = field(default_factory=GhostwriterConfig)
     verify: VerifyConfig = field(default_factory=VerifyConfig)
     faults: FaultConfig = field(default_factory=FaultConfig)
+    obs: ObsConfig = field(default_factory=ObsConfig)
     #: Baseline write-invalidate protocol the Ghostwriter states extend:
     #: "mesi" (the paper's evaluation baseline) or "moesi" (the paper's
     #: claim that GS/GI "can be added to most existing protocols").

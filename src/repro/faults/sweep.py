@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.harness.options import RunOptions, resolve_options
 from repro.harness.parallel import GridFailure, GridPoint, run_grid
 from repro.workloads.registry import ALL_WORKLOADS, PAPER_WORKLOADS
 
@@ -86,38 +87,45 @@ def fault_sweep(workload: str = "histogram", *,
                 num_threads: int = 8, scale: float = 0.25,
                 rates: tuple[float, ...] = DEFAULT_RATES,
                 seeds_per_cell: int = 1,
-                seed: int = 12345, jobs: int = 1) -> FaultSweepResult:
+                seed: int = 12345,
+                options: RunOptions | None = None,
+                jobs: int | None = None) -> FaultSweepResult:
     """Run the full (rate x config x fault-seed) grid and average over
     fault seeds.
 
     Every run shares the workload seed (identical inputs and thread
     programs); only the fault seed varies inside a cell, so differences
     between cells are attributable to the injected faults and the
-    protocol's response alone.  ``jobs=N`` fans the grid out over a
+    protocol's response alone.  ``options.jobs`` fans the grid out over a
     process pool (:mod:`repro.harness.parallel`); a run killed by
     control-data corruption comes back as a
     :class:`~repro.harness.parallel.GridFailure` and is tallied as a
-    crash, exactly as in the serial path.
+    crash, exactly as in the serial path.  The bare ``jobs`` keyword is a
+    deprecated shim; the per-cell fault rate/seed/policy always override
+    the corresponding ``options`` fields.
     """
     if workload not in ALL_WORKLOADS:
         raise KeyError(
             f"unknown workload {workload!r}; available: "
             f"{sorted(ALL_WORKLOADS)}"
         )
+    base = resolve_options(options, who="fault_sweep", jobs=jobs)
     cls = PAPER_WORKLOADS.get(workload)
     metric = cls.error_metric if cls is not None else "error"
     grid = [
         (rate, label,
          GridPoint(workload,
                    dict(d_distance=d, num_threads=num_threads, scale=scale,
-                        seed=seed, fault_rate=rate, fault_seed=1 + k,
-                        fault_policy="log"),
+                        seed=seed,
+                        options=base.replace(fault_rate=rate,
+                                             fault_seed=1 + k,
+                                             fault_policy="log")),
                    label=f"{label} rate={rate:g} fault_seed={1 + k}"))
         for rate in rates
         for label, d in _CONFIGS
         for k in range(seeds_per_cell)
     ]
-    outcomes = run_grid([p for _r, _l, p in grid], jobs=jobs)
+    outcomes = run_grid([p for _r, _l, p in grid], jobs=base.jobs)
     errors: dict[tuple, list[float]] = {}
     crashes: dict[tuple, int] = {}
     for (rate, label, _point), outcome in zip(grid, outcomes):
@@ -169,7 +177,7 @@ def main(argv: list[str] | None = None) -> int:
     result = fault_sweep(
         args.workload, num_threads=args.threads, scale=args.scale,
         rates=tuple(args.rates), seeds_per_cell=args.seeds_per_cell,
-        seed=args.seed, jobs=args.jobs,
+        seed=args.seed, options=RunOptions(jobs=args.jobs),
     )
     print(result.render())
     print(f"[{time.time() - t0:.1f}s]")

@@ -17,6 +17,8 @@ import sys
 import time
 
 from repro.harness import figures as F
+from repro.harness.options import RunOptions
+from repro.obs.timeline import DEFAULT_TIMELINE_INTERVAL
 
 __all__ = ["main"]
 
@@ -55,6 +57,17 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="fan independent sweep points out over N worker "
                         "processes (results are bit-identical to --jobs 1; "
                         "see repro.harness.parallel)")
+    p.add_argument("--trace-events", action="store_true",
+                   help="record every coherence event of the sweep runs "
+                        "(see repro.obs); export with --trace-out")
+    p.add_argument("--timeline-interval", type=int, default=0,
+                   metavar="CYCLES",
+                   help="sample a metrics timeline every CYCLES cycles "
+                        "(0 = off unless --trace-events, which defaults "
+                        f"it to {DEFAULT_TIMELINE_INTERVAL})")
+    p.add_argument("--trace-out", metavar="DIR", default=None,
+                   help="write the merged events.jsonl / timeline.npz / "
+                        "report.txt bundle of the traced sweep under DIR")
     return p
 
 
@@ -66,12 +79,25 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--fault-rate must be >= 0, got {args.fault_rate:g}")
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.timeline_interval < 0:
+        parser.error(f"--timeline-interval must be >= 0, "
+                     f"got {args.timeline_interval}")
+    if args.trace_out is not None and not (args.trace_events
+                                           or args.timeline_interval):
+        parser.error("--trace-out needs --trace-events and/or "
+                     "--timeline-interval")
+    interval = args.timeline_interval
+    if args.trace_events and not interval:
+        interval = DEFAULT_TIMELINE_INTERVAL
+    options = RunOptions(check_invariants=args.check_invariants,
+                         fault_rate=args.fault_rate,
+                         fault_seed=args.fault_seed, jobs=args.jobs,
+                         trace_events=args.trace_events,
+                         timeline_interval=interval)
     wanted = _ALL if args.figure == "all" else (args.figure,)
     cache = F.SweepCache(num_threads=args.threads, scale=args.scale,
                          seed=args.seed, protocol=args.protocol,
-                         check_invariants=args.check_invariants,
-                         fault_rate=args.fault_rate,
-                         fault_seed=args.fault_seed, jobs=args.jobs)
+                         options=options)
     sweep_wanted = [f for f in wanted if f in _SWEEP_FIGS]
     if args.jobs > 1 and sweep_wanted:
         # warm the shared sweep across the pool before the per-figure
@@ -88,6 +114,10 @@ def main(argv: list[str] | None = None) -> int:
             result = _run_figure(name, args, cache)
         except Exception as exc:
             if args.fault_rate <= 0:
+                # say which figure died before the traceback: "all" runs
+                # many figures and the traceback alone doesn't name one
+                print(f"[{name}: failed: {type(exc).__name__}: {exc}]",
+                      file=sys.stderr)
                 raise
             # injected faults legitimately crash runs when they corrupt
             # control data; report and keep sweeping the other figures
@@ -100,6 +130,16 @@ def main(argv: list[str] | None = None) -> int:
             paths = export_result(name, result, args.out)
             print(f"[exported {', '.join(str(p) for p in paths)}]")
         print(f"[{name}: {time.time() - t0:.1f}s]\n")
+    if args.trace_out is not None:
+        from repro.harness.export import export_captures
+        labeled = [(f"{app}.d{d}", row.obs)
+                   for (app, d), row in sorted(cache.rows().items())
+                   if row.obs is not None]
+        if labeled:
+            paths = export_captures(labeled, args.trace_out)
+            print(f"[trace: {', '.join(str(p) for p in paths)}]")
+        else:
+            print("[trace: no traced sweep runs to export]")
     return 1 if crashed else 0
 
 

@@ -10,13 +10,13 @@ other Table 1 parameters (cores, mesh, latencies, GI timeout) are kept.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
-from repro.common.config import (
-    CacheConfig, FaultConfig, SimConfig, VerifyConfig, default_config,
-)
+from repro.common.config import SimConfig, default_config
 from repro.common.types import MessageClass
 from repro.energy.accounting import EnergyAccountant, EnergyReport
+from repro.harness.options import RunOptions, resolve_options
+from repro.obs.capture import ObsCapture
 from repro.workloads.base import WorkloadResult
 from repro.workloads.registry import create
 
@@ -37,19 +37,25 @@ def experiment_config(*, enabled: bool, d_distance: int = 4,
                       gi_timeout: int = 1024,
                       num_cores: int = DEFAULT_THREADS,
                       protocol: str = "mesi",
-                      check_invariants: bool = True,
-                      fault_rate: float = 0.0, fault_seed: int = 1,
-                      fault_policy: str = "abort") -> SimConfig:
+                      options: RunOptions | None = None,
+                      check_invariants: bool | None = None,
+                      fault_rate: float | None = None,
+                      fault_seed: int | None = None,
+                      fault_policy: str | None = None) -> SimConfig:
     """The scaled experiment machine (see module docstring).
 
-    ``check_invariants`` gates the end-of-run quiescence + coherence
-    checks; ``fault_rate`` (flips per million cycles across the cache
-    hierarchy) with ``fault_seed``/``fault_policy`` arms the fault
-    injector (see :mod:`repro.faults`).  The progress watchdog is always
-    armed so a deadlocked experiment fails in ~2x
-    ``WATCHDOG_INTERVAL`` cycles with a diagnostic dump instead of
-    spinning to ``max_cycles``.
+    Run-shaping knobs — invariant checking, fault injection, event
+    tracing — come in through ``options`` (:class:`RunOptions`); the
+    individual ``check_invariants``/``fault_*`` keywords are deprecated
+    shims.  The progress watchdog is always armed so a deadlocked
+    experiment fails in ~2x ``WATCHDOG_INTERVAL`` cycles with a
+    diagnostic dump instead of spinning to ``max_cycles``.
     """
+    opts = resolve_options(
+        options, who="experiment_config", check_invariants=check_invariants,
+        fault_rate=fault_rate, fault_seed=fault_seed,
+        fault_policy=fault_policy,
+    )
     # The experiment machine is the paper's Table 1 machine, unmodified:
     # with the self-limiting scribble-fallback semantics the approximate
     # dynamics do not depend on cache-capacity pressure, so no scaling of
@@ -59,10 +65,9 @@ def experiment_config(*, enabled: bool, d_distance: int = 4,
     )
     return replace(
         cfg, num_cores=num_cores, protocol=protocol,
-        verify=VerifyConfig(check_invariants=check_invariants,
-                            watchdog_interval=WATCHDOG_INTERVAL),
-        faults=FaultConfig(cache_rate=fault_rate, seed=fault_seed,
-                           policy=fault_policy),
+        verify=opts.verify_config(watchdog_interval=WATCHDOG_INTERVAL),
+        faults=opts.fault_config(),
+        obs=opts.obs_config(),
     )
 
 
@@ -86,6 +91,10 @@ class RunRow:
     stores: int
     load_misses: int
     store_misses: int
+    #: observability capture of the run (None unless tracing was on);
+    #: excluded from comparisons so serial-vs-parallel row equality is
+    #: about the simulated results, not the capture objects
+    obs: ObsCapture | None = field(default=None, compare=False, repr=False)
 
     @property
     def gs_serviced_pct(self) -> float:
@@ -113,6 +122,7 @@ def _row_from_result(name: str, d_label: int, result: WorkloadResult,
     l1 = result.stats.child("l1")
     energy = EnergyAccountant(cfg).report(machine)
     return RunRow(
+        obs=ObsCapture.from_machine(machine),
         workload=name,
         d_distance=d_label,
         cycles=result.cycles,
@@ -136,16 +146,29 @@ def run_workload(name: str, *, d_distance: int,
                  num_threads: int = DEFAULT_THREADS,
                  scale: float = DEFAULT_SCALE, seed: int = 12345,
                  gi_timeout: int = 1024, protocol: str = "mesi",
-                 check_invariants: bool = True, fault_rate: float = 0.0,
-                 fault_seed: int = 1, fault_policy: str = "abort",
+                 options: RunOptions | None = None,
+                 check_invariants: bool | None = None,
+                 fault_rate: float | None = None,
+                 fault_seed: int | None = None,
+                 fault_policy: str | None = None,
                  **workload_kwargs) -> RunRow:
-    """Run one workload once.  ``d_distance=0`` disables Ghostwriter."""
+    """Run one workload once.  ``d_distance=0`` disables Ghostwriter.
+
+    ``options`` carries the run-shaping knobs (:class:`RunOptions`); the
+    individual ``check_invariants``/``fault_*`` keywords are deprecated
+    shims.  When the options enable tracing, the returned row's ``obs``
+    field holds the run's :class:`~repro.obs.capture.ObsCapture`.
+    """
+    opts = resolve_options(
+        options, who="run_workload", check_invariants=check_invariants,
+        fault_rate=fault_rate, fault_seed=fault_seed,
+        fault_policy=fault_policy,
+    )
     enabled = d_distance > 0
     cfg = experiment_config(
         enabled=enabled, d_distance=max(d_distance, 1),
         gi_timeout=gi_timeout, num_cores=num_threads, protocol=protocol,
-        check_invariants=check_invariants, fault_rate=fault_rate,
-        fault_seed=fault_seed, fault_policy=fault_policy,
+        options=opts,
     )
     w = create(name, num_threads=num_threads, seed=seed, scale=scale,
                **workload_kwargs)
@@ -156,23 +179,27 @@ def run_workload(name: str, *, d_distance: int,
 def run_pair(name: str, *, d_distance: int,
              num_threads: int = DEFAULT_THREADS,
              scale: float = DEFAULT_SCALE, seed: int = 12345,
-             jobs: int = 1, **kwargs) -> tuple[RunRow, RunRow]:
+             options: RunOptions | None = None,
+             jobs: int | None = None, **kwargs) -> tuple[RunRow, RunRow]:
     """(baseline, ghostwriter) rows for one workload and d setting.
 
-    ``jobs=2`` runs the two legs concurrently via the parallel executor
-    (:mod:`repro.harness.parallel`); the rows are bit-identical to the
-    serial ``jobs=1`` path either way.
+    ``options.jobs >= 2`` runs the two legs concurrently via the parallel
+    executor (:mod:`repro.harness.parallel`); the rows are bit-identical
+    to the serial path either way.  The bare ``jobs`` keyword is a
+    deprecated shim.
     """
-    if jobs > 1:
+    opts = resolve_options(options, who="run_pair", jobs=jobs)
+    if opts.jobs > 1:
         # local import: parallel builds on this module's run_workload
         from repro.harness.parallel import GridFailure, GridPoint, run_grid
         points = [
             GridPoint(name, dict(d_distance=d, num_threads=num_threads,
-                                 scale=scale, seed=seed, **kwargs),
+                                 scale=scale, seed=seed, options=opts,
+                                 **kwargs),
                       label=f"d_distance={d}")
             for d in (0, d_distance)
         ]
-        base, gw = run_grid(points, jobs=jobs)
+        base, gw = run_grid(points, jobs=opts.jobs)
         for row in (base, gw):
             if isinstance(row, GridFailure):
                 raise RuntimeError(
@@ -180,7 +207,7 @@ def run_pair(name: str, *, d_distance: int,
                 )
         return base, gw
     base = run_workload(name, d_distance=0, num_threads=num_threads,
-                        scale=scale, seed=seed, **kwargs)
+                        scale=scale, seed=seed, options=opts, **kwargs)
     gw = run_workload(name, d_distance=d_distance, num_threads=num_threads,
-                      scale=scale, seed=seed, **kwargs)
+                      scale=scale, seed=seed, options=opts, **kwargs)
     return base, gw

@@ -1,19 +1,30 @@
-"""Tabular export of figure results (CSV + JSON).
+"""Tabular export of figure results and observability captures.
 
 Each figure result is flattened into a list of records (one dict per
 plotted point/bar), so downstream plotting tools can regenerate the
 paper's graphics from files instead of re-running simulations.
+
+The writer layer is symmetric: :func:`export_records` writes any record
+list in any subset of the supported formats (CSV, JSON, JSONL, npz), and
+both the figure exporter (:func:`export_result`) and the trace/timeline
+exporter (:func:`export_captures`) delegate to it.
 """
 from __future__ import annotations
 
 import csv
 import json
 from pathlib import Path
-from typing import Any
+from typing import Any, Sequence
 
-from repro.harness import figures as F
+import numpy as np
 
-__all__ = ["records_for", "write_csv", "write_json", "export_result"]
+from repro.obs.capture import ObsCapture
+from repro.obs.report import render_report
+from repro.obs.timeline import save_merged
+
+__all__ = ["records_for", "write_csv", "write_json", "write_jsonl",
+           "write_npz", "export_records", "export_result",
+           "export_captures"]
 
 
 def records_for(name: str, result: Any) -> list[dict[str, Any]]:
@@ -94,13 +105,93 @@ def write_json(records: list[dict[str, Any]], path: Path) -> None:
         fh.write("\n")
 
 
-def export_result(name: str, result: Any, out_dir: str | Path) -> list[Path]:
-    """Write ``<name>.csv`` and ``<name>.json`` under ``out_dir``."""
+def write_jsonl(records: list[dict[str, Any]], path: Path) -> None:
+    """Write records as JSON Lines (one compact object per line)."""
+    with open(path, "w") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec, separators=(",", ":"), default=str))
+            fh.write("\n")
+
+
+def write_npz(records: list[dict[str, Any]], path: Path) -> None:
+    """Write uniformly-keyed records as columnar compressed ``.npz``."""
+    if not records:
+        raise ValueError("nothing to export")
+    fields = list(records[0])
+    for rec in records[1:]:
+        if list(rec) != fields:
+            raise ValueError("npz export requires uniformly-keyed records")
+    np.savez_compressed(
+        path, **{f: np.asarray([rec[f] for rec in records]) for f in fields}
+    )
+
+
+_WRITERS = {
+    "csv": write_csv,
+    "json": write_json,
+    "jsonl": write_jsonl,
+    "npz": write_npz,
+}
+
+
+def export_records(records: list[dict[str, Any]], name: str,
+                   out_dir: str | Path,
+                   formats: Sequence[str] = ("csv", "json")) -> list[Path]:
+    """Write ``<name>.<fmt>`` under ``out_dir`` for each format."""
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
-    records = records_for(name, result)
-    csv_path = out / f"{name}.csv"
-    json_path = out / f"{name}.json"
-    write_csv(records, csv_path)
-    write_json(records, json_path)
-    return [csv_path, json_path]
+    paths: list[Path] = []
+    for fmt in formats:
+        writer = _WRITERS.get(fmt)
+        if writer is None:
+            raise KeyError(
+                f"unknown export format {fmt!r}; "
+                f"available: {sorted(_WRITERS)}"
+            )
+        path = out / f"{name}.{fmt}"
+        writer(records, path)
+        paths.append(path)
+    return paths
+
+
+def export_result(name: str, result: Any, out_dir: str | Path) -> list[Path]:
+    """Write ``<name>.csv`` and ``<name>.json`` under ``out_dir``."""
+    return export_records(records_for(name, result), name, out_dir)
+
+
+def export_captures(labeled: Sequence[tuple[str, ObsCapture]],
+                    out_dir: str | Path) -> list[Path]:
+    """Write the merged observability bundle of a traced sweep.
+
+    Produces up to three files under ``out_dir``: ``events.jsonl``
+    (every run's event records, each tagged with its run label),
+    ``timeline.npz`` (all timelines merged via
+    :func:`repro.obs.timeline.save_merged`) and ``report.txt`` (the
+    per-phase breakdown of every capture).  Labels are emitted in the
+    given order, so a sorted ``labeled`` makes the files byte-identical
+    regardless of how the runs were scheduled.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths: list[Path] = []
+    event_records = [
+        {"run": label, **rec}
+        for label, cap in labeled for rec in cap.events
+    ]
+    if event_records:
+        path = out / "events.jsonl"
+        write_jsonl(event_records, path)
+        paths.append(path)
+    timelines = [(label, cap.timeline) for label, cap in labeled
+                 if cap.timeline is not None]
+    if timelines:
+        path = out / "timeline.npz"
+        save_merged(timelines, path)
+        paths.append(path)
+    if labeled:
+        path = out / "report.txt"
+        blocks = [f"=== {label} ===\n{render_report(cap)}"
+                  for label, cap in labeled]
+        path.write_text("\n\n".join(blocks) + "\n")
+        paths.append(path)
+    return paths

@@ -19,6 +19,7 @@ from repro.common.types import MessageClass
 from repro.harness.experiment import (
     DEFAULT_SCALE, DEFAULT_THREADS, RunRow, experiment_config, run_workload,
 )
+from repro.harness.options import RunOptions, resolve_options
 from repro.workloads.base import WorkloadResult
 from repro.workloads.registry import PAPER_WORKLOADS, create, table2_rows
 
@@ -57,26 +58,52 @@ class SweepCache:
 
     def __init__(self, num_threads: int = DEFAULT_THREADS,
                  scale: float = DEFAULT_SCALE, seed: int = 12345,
-                 protocol: str = "mesi", check_invariants: bool = True,
-                 fault_rate: float = 0.0, fault_seed: int = 1,
-                 jobs: int = 1) -> None:
+                 protocol: str = "mesi",
+                 options: RunOptions | None = None,
+                 check_invariants: bool | None = None,
+                 fault_rate: float | None = None,
+                 fault_seed: int | None = None,
+                 jobs: int | None = None) -> None:
         self.num_threads = num_threads
         self.scale = scale
         self.seed = seed
         self.protocol = protocol
-        self.check_invariants = check_invariants
-        self.fault_rate = fault_rate
-        self.fault_seed = fault_seed
-        self.jobs = jobs
+        opts = resolve_options(
+            options, who="SweepCache", check_invariants=check_invariants,
+            fault_rate=fault_rate, fault_seed=fault_seed, jobs=jobs,
+        )
+        if opts.fault_rate:
+            # faulty sweeps log-and-continue so every row completes
+            opts = opts.replace(fault_policy="log")
+        self.options = opts
         self._rows: dict[tuple[str, int], RunRow] = {}
+
+    # -- legacy read-only views (pre-RunOptions attribute names) -------
+    @property
+    def jobs(self) -> int:
+        """Worker processes used by :meth:`prefetch`."""
+        return self.options.jobs
+
+    @property
+    def check_invariants(self) -> bool:
+        """End-of-run invariant checking (see :class:`RunOptions`)."""
+        return self.options.check_invariants
+
+    @property
+    def fault_rate(self) -> float:
+        """Cache fault rate (see :class:`RunOptions`)."""
+        return self.options.fault_rate
+
+    @property
+    def fault_seed(self) -> int:
+        """Fault-injector seed (see :class:`RunOptions`)."""
+        return self.options.fault_seed
 
     def _run_kwargs(self, app: str, d: int) -> dict:
         return dict(
             d_distance=d, num_threads=self.num_threads,
             scale=self.scale, seed=self.seed, protocol=self.protocol,
-            check_invariants=self.check_invariants,
-            fault_rate=self.fault_rate, fault_seed=self.fault_seed,
-            fault_policy="log" if self.fault_rate else "abort",
+            options=self.options,
         )
 
     def row(self, app: str, d: int) -> RunRow:
@@ -110,6 +137,10 @@ class SweepCache:
             return
         for app, d in keys:
             self.row(app, d)
+
+    def rows(self) -> dict[tuple[str, int], RunRow]:
+        """Snapshot of every cached (app, d) -> RunRow (for exporters)."""
+        return dict(self._rows)
 
 
 # ---------------------------------------------------------------------

@@ -1,0 +1,111 @@
+"""One value object for every run-shaping knob the harness accepts.
+
+PR 1 and PR 2 threaded ``check_invariants``/``fault_rate``/``fault_seed``/
+``fault_policy``/``jobs`` by hand through every harness entry point, and
+the observability layer would have added three more.  :class:`RunOptions`
+consolidates them: ``experiment_config``, ``run_workload``, ``run_pair``,
+``SweepCache``, ``faults.sweep`` and the CLI all take one frozen options
+value.  The old keyword signatures still work through
+:func:`resolve_options`, which emits a :class:`DeprecationWarning` naming
+the caller and the legacy keys.
+"""
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.config import FaultConfig, ObsConfig, VerifyConfig
+
+__all__ = ["RunOptions", "resolve_options"]
+
+_POLICIES = ("abort", "log", "recover")
+
+
+@dataclass(frozen=True, slots=True)
+class RunOptions:
+    """Run-shaping knobs shared by every harness entry point.
+
+    Frozen and slotted so it can be hashed into sweep-cache keys and
+    pickled across the ``--jobs N`` worker boundary unchanged.
+    """
+
+    #: End-of-run quiescence + coherence checks (see VerifyConfig).
+    check_invariants: bool = True
+    #: Cache bit-flips per million cycles (see FaultConfig.cache_rate).
+    fault_rate: float = 0.0
+    #: RNG seed of the fault injector.
+    fault_seed: int = 1
+    #: Monitor reaction to caught corruption: abort / log / recover.
+    fault_policy: str = "abort"
+    #: Worker processes for sweep fan-out (1 = in-process serial).
+    jobs: int = 1
+    #: Record every protocol event (see ObsConfig.trace_events).
+    trace_events: bool = False
+    #: Timeline sampling period in cycles; 0 disables sampling.
+    timeline_interval: int = 0
+    #: Flight-recorder ring depth; 0 defers to ObsConfig's default
+    #: (armed automatically whenever ``trace_events`` is on).
+    flight_recorder: int = 0
+
+    def __post_init__(self) -> None:
+        if self.fault_rate < 0:
+            raise ValueError("fault_rate cannot be negative")
+        if self.fault_policy not in _POLICIES:
+            raise ValueError(
+                f"fault_policy must be one of {_POLICIES}, "
+                f"got {self.fault_policy!r}"
+            )
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.timeline_interval < 0 or self.flight_recorder < 0:
+            raise ValueError("obs intervals/depths cannot be negative")
+
+    # -- derived views -------------------------------------------------
+    @property
+    def tracing(self) -> bool:
+        """True when this run produces any observability capture."""
+        return (self.trace_events or self.timeline_interval > 0
+                or self.flight_recorder > 0)
+
+    def replace(self, **changes: Any) -> "RunOptions":
+        """A copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    def verify_config(self, *, watchdog_interval: int = 0) -> VerifyConfig:
+        """The VerifyConfig these options imply."""
+        return VerifyConfig(check_invariants=self.check_invariants,
+                            watchdog_interval=watchdog_interval)
+
+    def fault_config(self) -> FaultConfig:
+        """The FaultConfig these options imply."""
+        return FaultConfig(cache_rate=self.fault_rate, seed=self.fault_seed,
+                           policy=self.fault_policy)
+
+    def obs_config(self) -> ObsConfig:
+        """The ObsConfig these options imply."""
+        return ObsConfig(trace_events=self.trace_events,
+                         timeline_interval=self.timeline_interval,
+                         flight_recorder=self.flight_recorder)
+
+
+def resolve_options(options: RunOptions | None = None, *, who: str,
+                    **legacy: Any) -> RunOptions:
+    """Merge an options value with legacy keyword arguments.
+
+    ``legacy`` holds the caller's old-style kwargs, each ``None`` when
+    not supplied.  Passing any non-``None`` legacy kwarg emits one
+    :class:`DeprecationWarning` naming ``who`` and the keys; the values
+    override the corresponding ``options`` fields (so mixed calls keep
+    their historical meaning during migration).
+    """
+    supplied = {k: v for k, v in legacy.items() if v is not None}
+    if supplied:
+        warnings.warn(
+            f"{who}: keyword(s) {sorted(supplied)} are deprecated; pass "
+            "repro.harness.RunOptions instead",
+            DeprecationWarning, stacklevel=3,
+        )
+    base = options if options is not None else RunOptions()
+    return dataclasses.replace(base, **supplied) if supplied else base

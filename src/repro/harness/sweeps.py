@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.harness.experiment import DEFAULT_SCALE, DEFAULT_THREADS, RunRow
+from repro.harness.options import RunOptions
 from repro.harness.parallel import GridFailure, GridPoint, run_grid
 
 __all__ = ["SweepResult", "sweep_d_distance", "sweep_threads",
@@ -88,7 +89,14 @@ class SweepResult:
 
 
 def _sweep(parameter: str, values: Sequence, points: list[GridPoint], *,
-           jobs: int) -> SweepResult:
+           jobs: int, options: RunOptions | None) -> SweepResult:
+    if options is not None:
+        points = [
+            GridPoint(p.workload, {"options": options, **p.kwargs}, p.label)
+            for p in points
+        ]
+        if jobs == 1:
+            jobs = options.jobs
     rows = run_grid(points, jobs=jobs)
     return SweepResult(parameter, tuple(values), tuple(rows))
 
@@ -96,7 +104,8 @@ def _sweep(parameter: str, values: Sequence, points: list[GridPoint], *,
 def sweep_d_distance(workload: str, d_values: Sequence[int] = (0, 2, 4, 8, 16),
                      *, num_threads: int = DEFAULT_THREADS,
                      scale: float = DEFAULT_SCALE, seed: int = 12345,
-                     jobs: int = 1, **kwargs) -> SweepResult:
+                     jobs: int = 1, options: RunOptions | None = None,
+                     **kwargs) -> SweepResult:
     """Accuracy/benefit trade-off curve over the d-distance knob
     (``d=0`` runs baseline MESI)."""
     points = [
@@ -105,12 +114,13 @@ def sweep_d_distance(workload: str, d_values: Sequence[int] = (0, 2, 4, 8, 16),
                   label=f"d_distance={d}")
         for d in d_values
     ]
-    return _sweep("d_distance", d_values, points, jobs=jobs)
+    return _sweep("d_distance", d_values, points, jobs=jobs, options=options)
 
 
 def sweep_threads(workload: str, thread_counts: Sequence[int] = (1, 2, 4, 8),
                   *, d_distance: int = 0, scale: float = DEFAULT_SCALE,
                   seed: int = 12345, jobs: int = 1,
+                  options: RunOptions | None = None,
                   **kwargs) -> SweepResult:
     """Scalability curve (the Fig. 1 methodology, for any workload)."""
     points = [
@@ -119,7 +129,8 @@ def sweep_threads(workload: str, thread_counts: Sequence[int] = (1, 2, 4, 8),
                   label=f"threads={t}")
         for t in thread_counts
     ]
-    return _sweep("threads", thread_counts, points, jobs=jobs)
+    return _sweep("threads", thread_counts, points, jobs=jobs,
+                  options=options)
 
 
 def sweep_gi_timeout(workload: str,
@@ -127,7 +138,8 @@ def sweep_gi_timeout(workload: str,
                      *, d_distance: int = 4,
                      num_threads: int = DEFAULT_THREADS,
                      scale: float = DEFAULT_SCALE, seed: int = 12345,
-                     jobs: int = 1, **kwargs) -> SweepResult:
+                     jobs: int = 1, options: RunOptions | None = None,
+                     **kwargs) -> SweepResult:
     """The Fig. 12 methodology, for any workload."""
     points = [
         GridPoint(workload, dict(d_distance=d_distance, gi_timeout=t,
@@ -136,4 +148,4 @@ def sweep_gi_timeout(workload: str,
                   label=f"gi_timeout={t}")
         for t in timeouts
     ]
-    return _sweep("gi_timeout", timeouts, points, jobs=jobs)
+    return _sweep("gi_timeout", timeouts, points, jobs=jobs, options=options)

@@ -18,6 +18,7 @@ from repro.common.stats import StatGroup
 from repro.common.types import MessageClass
 from repro.coherence.messages import Message
 from repro.noc.topology import route_routers
+from repro.obs.events import Event, EventKind
 from repro.sim.engine import Engine
 
 __all__ = ["Network"]
@@ -27,7 +28,7 @@ class Network:
     """Routes :class:`Message` objects between registered endpoints."""
 
     __slots__ = ("cfg", "engine", "stats", "block_bytes", "_endpoints",
-                 "_class_counts", "_in_flight", "fault_hook")
+                 "_class_counts", "_in_flight", "fault_hook", "bus")
 
     def __init__(self, cfg: NocConfig, engine: Engine, block_bytes: int,
                  stats: StatGroup | None = None) -> None:
@@ -45,6 +46,8 @@ class Network:
         #: optional fault-injection hook, called once per send; may
         #: corrupt ``msg.words`` and returns extra delivery delay cycles
         self.fault_hook: Callable[[Message], int] | None = None
+        #: event bus (repro.obs); None keeps send() to one attribute check
+        self.bus = None
 
     def register(self, node: int, handler: Callable[[Message], None]) -> None:
         """Bind the message handler for a mesh node (one per node)."""
@@ -67,6 +70,12 @@ class Network:
         payload = msg.payload_bytes(self.block_bytes, self.cfg.control_msg_bytes)
         latency = self.cfg.message_latency(msg.src, msg.dst, payload)
         self._account(msg, payload)
+        bus = self.bus
+        if bus is not None:
+            bus.emit(Event(
+                self.engine.now, EventKind.MSG, msg.src, msg.block_addr,
+                msg.mtype.label, msg.mtype.klass.value, msg.dst,
+            ))
         if self.fault_hook is not None:
             extra_delay += self.fault_hook(msg)
         in_flight = self._in_flight

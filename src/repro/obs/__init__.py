@@ -1,0 +1,26 @@
+"""Observability layer: structured event tracing + metrics timelines.
+
+The third leg of the verification/performance/observability triad
+(DESIGN.md §9).  Components of a :class:`~repro.sim.machine.Machine`
+emit typed protocol events onto an :class:`EventBus`; consumers include
+an in-memory :class:`EventRecorder`, a ring-buffer :class:`FlightRecorder`
+whose tail rides along on deadlock/invariant dumps, and a
+:class:`MetricsTimeline` sampling the StatGroup counters into columnar
+numpy series.  Everything is off by default and guarded by a single
+``bus is None`` attribute check on the hot paths.
+"""
+from repro.obs.capture import ObsCapture
+from repro.obs.events import (
+    Event, EventBus, EventKind, EventRecorder, FlightRecorder,
+)
+from repro.obs.report import render_report
+from repro.obs.timeline import (
+    DEFAULT_TIMELINE_INTERVAL, MetricsTimeline, Timeline, load_merged,
+    save_merged,
+)
+
+__all__ = [
+    "Event", "EventBus", "EventKind", "EventRecorder", "FlightRecorder",
+    "MetricsTimeline", "Timeline", "DEFAULT_TIMELINE_INTERVAL",
+    "save_merged", "load_merged", "ObsCapture", "render_report",
+]

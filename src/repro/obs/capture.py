@@ -1,0 +1,40 @@
+"""Per-run observability capture: what a traced run hands back.
+
+A machine built with tracing enabled carries live, unpicklable objects
+(the bus, the recorder, the sampler).  :class:`ObsCapture` freezes just
+the results — the event records and the finished timeline — into a
+plain value that can ride on a ``RunRow``, cross a process boundary in
+a ``--jobs N`` sweep, and feed the exporters/report without the machine.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.timeline import Timeline
+
+__all__ = ["ObsCapture"]
+
+
+@dataclass(frozen=True)
+class ObsCapture:
+    """Frozen observability results of one run.
+
+    ``events`` is empty unless the run traced events; ``timeline`` is
+    ``None`` unless it sampled a timeline.
+    """
+
+    events: tuple[dict[str, Any], ...] = ()
+    timeline: Timeline | None = None
+
+    @classmethod
+    def from_machine(cls, machine) -> "ObsCapture | None":
+        """Harvest a finished machine; ``None`` when nothing was traced."""
+        recorder = getattr(machine, "recorder", None)
+        sampler = getattr(machine, "timeline", None)
+        if recorder is None and sampler is None:
+            return None
+        return cls(
+            events=tuple(recorder.records()) if recorder is not None else (),
+            timeline=sampler.result() if sampler is not None else None,
+        )

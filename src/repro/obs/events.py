@@ -1,0 +1,198 @@
+"""Typed protocol events and the bus that carries them.
+
+Every simulator component that matters for the paper's time-resolved
+analysis can emit :class:`Event` objects onto the machine's
+:class:`EventBus`:
+
+* the L1 controllers: every access (hit/miss), every coherence-state
+  transition — including GS/GI entry/exit, GI-timeout flash-invalidates
+  and evictions — and structural MSHR/write-back stalls,
+* the scribe comparators: scribble accept/reject decisions with the
+  observed d-distance,
+* the NoC: every coherence message with its
+  :class:`~repro.common.types.MessageClass`,
+* the directory agents: every dispatched transaction,
+* the L2 slices: probes and fills.
+
+The bus is deliberately dumb — a list of subscriber callables — so that
+`machine.bus is None` is the *only* cost tracing imposes on a machine
+that does not trace (see ``benchmarks/perf``).
+"""
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+__all__ = ["EventKind", "Event", "EventBus", "EventRecorder",
+           "FlightRecorder"]
+
+
+class EventKind(enum.Enum):
+    """Taxonomy of protocol events (DESIGN.md §9)."""
+
+    #: One core memory reference at its L1 (``what`` = access type,
+    #: ``info`` = "hit"/"miss", ``value`` = store value, ``addr`` is the
+    #: full byte address).
+    ACCESS = "access"
+    #: An L1 coherence-state transition (``what`` = "old->new",
+    #: ``info`` = the transition reason, e.g. "GI timeout").
+    STATE = "state"
+    #: A coherence message entering the NoC (``what`` = message type,
+    #: ``info`` = its MessageClass, ``value`` = destination node).
+    MSG = "msg"
+    #: A structural stall in the L1 miss path (``info`` = reason).
+    MSHR_STALL = "mshr_stall"
+    #: A scribble similarity decision (``what`` = "accept"/"reject",
+    #: ``value`` = the observed d-distance).
+    SCRIBBLE = "scribble"
+    #: A directory agent dispatching a transaction (``what`` = message
+    #: type, ``value`` = requesting node).
+    DIR = "dir"
+    #: An L2 slice probe or fill (``what`` = "probe"/"fill").
+    L2 = "l2"
+
+
+@dataclass(slots=True)
+class Event:
+    """One structured protocol event.
+
+    ``addr`` is block-aligned for every kind except ``ACCESS``, which
+    carries the full byte address.  ``what``/``info``/``value`` are
+    kind-specific (see :class:`EventKind`).
+    """
+
+    cycle: int
+    kind: EventKind
+    node: int
+    addr: int
+    what: str
+    info: str = ""
+    value: int = 0
+
+    def to_record(self) -> dict[str, Any]:
+        """A JSON-ready flat record (the events.jsonl row format)."""
+        return {
+            "cycle": self.cycle, "kind": self.kind.value, "node": self.node,
+            "addr": self.addr, "what": self.what, "info": self.info,
+            "value": self.value,
+        }
+
+    def render(self) -> str:
+        """One human-readable line (the flight-recorder dump format)."""
+        text = (f"cycle {self.cycle:>8} [{self.kind.value}] "
+                f"node {self.node:>2} {self.addr:#x}: {self.what}")
+        if self.info:
+            text += f" ({self.info})"
+        if self.value:
+            text += f" v={self.value}"
+        return text
+
+
+class EventBus:
+    """Fan-out of :class:`Event` objects to subscriber callables."""
+
+    __slots__ = ("_subscribers", "events_emitted")
+
+    def __init__(self) -> None:
+        self._subscribers: list[Callable[[Event], None]] = []
+        self.events_emitted = 0
+
+    def subscribe(self, fn: Callable[[Event], None]) -> None:
+        """Add a subscriber (called synchronously on every emit)."""
+        if fn in self._subscribers:
+            raise ValueError("subscriber already registered")
+        self._subscribers.append(fn)
+
+    def unsubscribe(self, fn: Callable[[Event], None]) -> None:
+        """Remove a subscriber; a no-op if it is not registered."""
+        try:
+            self._subscribers.remove(fn)
+        except ValueError:
+            pass
+
+    @property
+    def subscriber_count(self) -> int:
+        """Number of registered subscribers."""
+        return len(self._subscribers)
+
+    def emit(self, event: Event) -> None:
+        """Deliver one event to every subscriber, in subscription order."""
+        self.events_emitted += 1
+        for fn in self._subscribers:
+            fn(event)
+
+
+class EventRecorder:
+    """Bus subscriber that keeps every event (the ``trace_events`` sink)."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def record(self, event: Event) -> None:
+        """The bus-facing callback."""
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def by_kind(self, kind: EventKind) -> list[Event]:
+        """All recorded events of one kind, in emission order."""
+        return [e for e in self.events if e.kind is kind]
+
+    def records(self) -> list[dict[str, Any]]:
+        """Every event as a JSON-ready record (export format)."""
+        return [e.to_record() for e in self.events]
+
+    def clear(self) -> None:
+        """Drop every recorded event."""
+        self.events.clear()
+
+
+class FlightRecorder:
+    """Bounded ring buffer of the most recent events.
+
+    Cheap enough to leave armed on long runs; its tail is appended to
+    :func:`repro.verify.watchdog.diagnostic_dump` so a ``DeadlockError``
+    or invariant violation carries the protocol activity that led up to
+    it.
+    """
+
+    __slots__ = ("_ring", "events_seen")
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ValueError("flight-recorder depth must be >= 1")
+        self._ring: deque[Event] = deque(maxlen=depth)
+        self.events_seen = 0
+
+    @property
+    def depth(self) -> int:
+        """Ring capacity (the constructor's ``depth``)."""
+        return self._ring.maxlen or 0
+
+    def record(self, event: Event) -> None:
+        """The bus-facing callback."""
+        self.events_seen += 1
+        self._ring.append(event)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def tail(self, n: int | None = None) -> list[Event]:
+        """The most recent ``n`` events (all retained ones by default)."""
+        events = list(self._ring)
+        return events if n is None else events[-n:]
+
+    def render_tail(self, n: int | None = None) -> str:
+        """The dump block appended to deadlock/invariant diagnostics."""
+        events = self.tail(n)
+        head = (f"--- flight recorder: last {len(events)} of "
+                f"{self.events_seen} events ---")
+        return "\n".join([head, *(e.render() for e in events)])

@@ -1,0 +1,130 @@
+"""Per-phase traffic/staleness summary of a traced run.
+
+:func:`render_report` splits a run's cycle span into equal phases and
+breaks down, per phase: coherence messages by class, GS/GI entries,
+scribble accept/reject behavior (with the mean observed d-distance),
+and MSHR stalls — the Neat-style evaluation view of where the
+approximate-coherence action happens in time.  When the capture also
+holds a timeline, mean GS/GI residency per phase is folded in.
+"""
+from __future__ import annotations
+
+from repro.common.types import MessageClass
+from repro.obs.capture import ObsCapture
+
+__all__ = ["render_report"]
+
+_CLASSES = tuple(k.value for k in MessageClass)
+
+
+def _phase_of(cycle: int, span: int, phases: int) -> int:
+    idx = cycle * phases // span if span else 0
+    return min(idx, phases - 1)
+
+
+def render_report(capture: ObsCapture, phases: int = 4) -> str:
+    """Render the per-phase breakdown as an aligned text table."""
+    if phases < 1:
+        raise ValueError("need at least one phase")
+    events = capture.events
+    if not events and capture.timeline is None:
+        return "(no observability data captured)"
+
+    end = max((e["cycle"] for e in events), default=0)
+    if capture.timeline is not None:
+        cycles = capture.timeline.column("cycle")
+        if len(cycles):
+            end = max(end, int(cycles[-1]))
+    span = end + 1
+
+    msg = [dict.fromkeys(_CLASSES, 0) for _ in range(phases)]
+    gs_in = [0] * phases
+    gi_in = [0] * phases
+    flash = [0] * phases
+    accept = [0] * phases
+    reject = [0] * phases
+    dist_sum = [0] * phases
+    stalls = [0] * phases
+    for e in events:
+        p = _phase_of(e["cycle"], span, phases)
+        kind = e["kind"]
+        if kind == "msg":
+            msg[p][e["info"]] += 1
+        elif kind == "state":
+            what = e["what"]
+            if what.endswith("->GS"):
+                gs_in[p] += 1
+            elif what.endswith("->GI"):
+                gi_in[p] += 1
+            if e["info"] == "GI timeout":
+                flash[p] += 1
+        elif kind == "scribble":
+            if e["what"] == "accept":
+                accept[p] += 1
+            else:
+                reject[p] += 1
+            dist_sum[p] += e["value"]
+        elif kind == "mshr_stall":
+            stalls[p] += 1
+
+    gs_res: list[float | None] = [None] * phases
+    gi_res: list[float | None] = [None] * phases
+    tl = capture.timeline
+    if tl is not None and "gs_resident" in tl.columns:
+        buckets: list[list[int]] = [[] for _ in range(phases)]
+        cyc = tl.column("cycle")
+        for i in range(len(tl)):
+            buckets[_phase_of(int(cyc[i]), span, phases)].append(i)
+        for p, idxs in enumerate(buckets):
+            if idxs:
+                gs_res[p] = sum(
+                    float(tl.column("gs_resident")[i]) for i in idxs
+                ) / len(idxs)
+                gi_res[p] = sum(
+                    float(tl.column("gi_resident")[i]) for i in idxs
+                ) / len(idxs)
+
+    rows: list[tuple[str, list[str]]] = []
+    rows.append(("messages " + "/".join(_CLASSES), [
+        "/".join(str(msg[p][c]) for c in _CLASSES) for p in range(phases)
+    ]))
+    rows.append(("GS entries", [str(n) for n in gs_in]))
+    rows.append(("GI entries", [str(n) for n in gi_in]))
+    rows.append(("GI-timeout flashes", [str(n) for n in flash]))
+    rows.append(("scribble accept/reject", [
+        f"{accept[p]}/{reject[p]}" for p in range(phases)
+    ]))
+    rows.append(("mean observed d", [
+        f"{dist_sum[p] / (accept[p] + reject[p]):.2f}"
+        if accept[p] + reject[p] else "-"
+        for p in range(phases)
+    ]))
+    rows.append(("MSHR stalls", [str(n) for n in stalls]))
+    if tl is not None:
+        rows.append(("mean GS resident", [
+            f"{gs_res[p]:.1f}" if gs_res[p] is not None else "-"
+            for p in range(phases)
+        ]))
+        rows.append(("mean GI resident", [
+            f"{gi_res[p]:.1f}" if gi_res[p] is not None else "-"
+            for p in range(phases)
+        ]))
+
+    bound = span // phases
+    heads = [f"phase {p} (<{(p + 1) * bound if p < phases - 1 else span})"
+             for p in range(phases)]
+    label_w = max(len(r[0]) for r in rows)
+    col_ws = [
+        max(len(heads[p]), max(len(r[1][p]) for r in rows))
+        for p in range(phases)
+    ]
+    out = [f"per-phase breakdown over {span} cycles, {phases} phases"]
+    out.append("  ".join(
+        [" " * label_w, *(heads[p].rjust(col_ws[p]) for p in range(phases))]
+    ))
+    for label, cells in rows:
+        out.append("  ".join(
+            [label.ljust(label_w),
+             *(cells[p].rjust(col_ws[p]) for p in range(phases))]
+        ))
+    return "\n".join(out)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.common.stats import StatGroup
 from repro.common.types import WORD_BITS, WORD_MASK
+from repro.obs.events import Event, EventKind
 from repro.scribe.similarity import is_similar_arithmetic, similarity_mask
 
 __all__ = ["ScribeUnit"]
@@ -31,11 +32,13 @@ class ScribeUnit:
     """
 
     __slots__ = ("d_distance", "enabled", "mode", "stats", "_hist",
-                 "_mask", "_hist_counts", "_counters")
+                 "_mask", "_hist_counts", "_counters", "node", "engine",
+                 "bus")
 
     def __init__(self, d_distance: int = 0, enabled: bool = False,
                  stats: StatGroup | None = None,
-                 mode: str = "bitwise") -> None:
+                 mode: str = "bitwise", node: int = -1,
+                 engine=None) -> None:
         if not 0 <= d_distance <= WORD_BITS:
             raise ValueError(f"d-distance out of range: {d_distance}")
         if mode not in ("bitwise", "arithmetic"):
@@ -48,6 +51,11 @@ class ScribeUnit:
         self._hist_counts = self._hist.counts
         self._mask = similarity_mask(d_distance)
         self._counters = self.stats.counters("passes", "fails", "reprograms")
+        self.node = node
+        self.engine = engine
+        #: event bus (repro.obs); None on the enabled-check path keeps
+        #: the comparator emission to one attribute check
+        self.bus = None
 
     # -- setaprx / endaprx --------------------------------------------
     def program(self, d: int) -> None:
@@ -69,7 +77,8 @@ class ScribeUnit:
             ((write_word ^ block_word) & WORD_MASK).bit_length()
         ] += 1
 
-    def check(self, write_word: int, block_word: int) -> bool:
+    def check(self, write_word: int, block_word: int,
+              block: int = -1) -> bool:
         """The ``approx`` output signal: True when the scribble may be
         serviced approximately under the programmed d-distance."""
         if not self.enabled:
@@ -80,4 +89,12 @@ class ScribeUnit:
         else:
             ok = (write_word ^ block_word) & self._mask == 0
         self._counters["passes" if ok else "fails"] += 1
+        bus = self.bus
+        if bus is not None:
+            bus.emit(Event(
+                self.engine.now if self.engine is not None else 0,
+                EventKind.SCRIBBLE, self.node, block,
+                "accept" if ok else "reject", "",
+                ((write_word ^ block_word) & WORD_MASK).bit_length(),
+            ))
         return ok

@@ -28,6 +28,8 @@ from repro.faults.injector import FaultInjector
 from repro.mem.backing import BackingStore
 from repro.mem.dram import Dram
 from repro.noc.network import Network
+from repro.obs.events import EventBus, EventRecorder, FlightRecorder
+from repro.obs.timeline import MetricsTimeline
 from repro.sim.engine import Engine, SimulationError
 from repro.verify.monitor import InvariantMonitor, check_block_structure
 from repro.verify.watchdog import ProgressWatchdog, diagnostic_dump
@@ -97,7 +99,43 @@ class Machine:
         self.injector: FaultInjector | None = None
         if cfg.faults.active:
             self.injector = FaultInjector(self, cfg.faults)
+        # observability layer (all off by default; see ObsConfig)
+        self.bus: EventBus | None = None
+        self.recorder: EventRecorder | None = None
+        self.flight: FlightRecorder | None = None
+        self.timeline: MetricsTimeline | None = None
+        obs = cfg.obs
+        if obs.bus_active:
+            bus = self.attach_bus()
+            if obs.trace_events:
+                self.recorder = EventRecorder()
+                bus.subscribe(self.recorder.record)
+            if obs.flight_depth:
+                self.flight = FlightRecorder(obs.flight_depth)
+                bus.subscribe(self.flight.record)
+        if obs.timeline_interval:
+            self.timeline = MetricsTimeline(self, obs.timeline_interval)
         self._ran = False
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def attach_bus(self) -> EventBus:
+        """Fetch-or-create the machine's event bus and wire it into every
+        emitting component (idempotent).  Consumers — recorders, the
+        flight ring, test probes — subscribe to the returned bus."""
+        if self.bus is None:
+            self.bus = EventBus()
+            self.network.bus = self.bus
+            for l1 in self.l1s:
+                l1.bus = self.bus
+                l1.scribe.bus = self.bus
+            for slc in self.l2_slices:
+                slc.bus = self.bus
+                slc.engine = self.engine
+            for agent in self.agents.values():
+                agent.bus = self.bus
+        return self.bus
 
     # ------------------------------------------------------------------
     def _make_endpoint(self, node: int):
@@ -163,6 +201,8 @@ class Machine:
             self.watchdog.start()
         if self.injector is not None:
             self.injector.start()
+        if self.timeline is not None:
+            self.timeline.start()
         for core in active:
             core.start()
         end = self.engine.run(max_cycles=max_cycles)
@@ -172,6 +212,8 @@ class Machine:
                     f"core {core.cid} never finished (deadlock?)\n"
                     + diagnostic_dump(self)
                 )
+        if self.timeline is not None:
+            self.timeline.finish()
         self.network.finalize_stats()
         self.stats.total_cycles = end
         return end

@@ -17,6 +17,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.common.types import AccessType
+from repro.obs.events import Event, EventKind
 from repro.sim.machine import Machine
 
 __all__ = ["Trace", "TraceRecorder"]
@@ -27,6 +28,7 @@ _ATYPE_CODE = {
     AccessType.SCRIBBLE: 2,
 }
 _CODE_ATYPE = {v: k for k, v in _ATYPE_CODE.items()}
+_WHAT_CODE = {a.value: code for a, code in _ATYPE_CODE.items()}
 
 
 class Trace:
@@ -100,7 +102,13 @@ class Trace:
 
 
 class TraceRecorder:
-    """Collects accesses from every L1 of a machine."""
+    """Collects the ACCESS events of a machine into a :class:`Trace`.
+
+    Subscribes to the machine's :class:`~repro.obs.events.EventBus`
+    (attaching one if the machine is not tracing yet) and filters for
+    :attr:`~repro.obs.events.EventKind.ACCESS`, so it composes with any
+    other bus consumer — the old private per-L1 hook is no longer used.
+    """
 
     def __init__(self, machine: Machine) -> None:
         self.machine = machine
@@ -110,24 +118,22 @@ class TraceRecorder:
         self._addrs: list[int] = []
         self._values: list[int] = []
         self._hits: list[bool] = []
-        for l1 in machine.l1s:
-            if l1.access_hook is not None:
-                raise RuntimeError(f"L1 {l1.node} already has an access hook")
-            l1.access_hook = self._record
+        self._bus = machine.attach_bus()
+        self._bus.subscribe(self._record)
 
-    def _record(self, cycle, node, atype, addr, value, hit) -> None:
-        self._cycles.append(cycle)
-        self._cores.append(node)
-        self._atypes.append(_ATYPE_CODE[atype])
-        self._addrs.append(addr)
-        self._values.append(value if value is not None else 0)
-        self._hits.append(hit)
+    def _record(self, event: Event) -> None:
+        if event.kind is not EventKind.ACCESS:
+            return
+        self._cycles.append(event.cycle)
+        self._cores.append(event.node)
+        self._atypes.append(_WHAT_CODE[event.what])
+        self._addrs.append(event.addr)
+        self._values.append(event.value)
+        self._hits.append(event.info == "hit")
 
     def detach(self) -> None:
-        """Stop recording (unhook from every L1)."""
-        for l1 in self.machine.l1s:
-            if l1.access_hook == self._record:
-                l1.access_hook = None
+        """Stop recording (unsubscribe from the machine's bus)."""
+        self._bus.unsubscribe(self._record)
 
     def trace(self) -> Trace:
         """Snapshot the recorded accesses as an immutable Trace."""

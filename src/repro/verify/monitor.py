@@ -207,6 +207,9 @@ class InvariantMonitor:
         )
         self.violations.append(detail)
         if self.policy == "abort":
+            flight = getattr(self.machine, "flight", None)
+            if flight is not None and len(flight):
+                detail += "\n" + flight.render_tail()
             raise InvariantViolation(detail)
         if self.policy == "recover":
             self._recover(l1, line, golden)

@@ -83,6 +83,9 @@ def diagnostic_dump(machine) -> str:
         out.append(f"noc in flight: {msg}")
     if len(in_flight) > _MAX_DUMPED_MESSAGES:
         out.append(f"noc: ... and {len(in_flight) - _MAX_DUMPED_MESSAGES} more")
+    flight = getattr(machine, "flight", None)
+    if flight is not None and len(flight):
+        out.append(flight.render_tail())
     return "\n".join(out)
 
 

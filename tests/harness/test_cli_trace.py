@@ -1,0 +1,91 @@
+"""CLI trace flags, the trace bundle, and figure-crash context."""
+import json
+
+import pytest
+
+from repro.harness import figures as F
+from repro.harness.cli import _build_parser, main
+from repro.obs.timeline import DEFAULT_TIMELINE_INTERVAL, load_merged
+
+
+class TestParser:
+    def test_trace_defaults_off(self):
+        args = _build_parser().parse_args(["fig7"])
+        assert args.trace_events is False
+        assert args.timeline_interval == 0
+        assert args.trace_out is None
+
+    def test_trace_flags_parse(self):
+        args = _build_parser().parse_args(
+            ["fig7", "--trace-events", "--timeline-interval", "512",
+             "--trace-out", "/tmp/x"]
+        )
+        assert args.trace_events is True
+        assert args.timeline_interval == 512
+        assert args.trace_out == "/tmp/x"
+
+    def test_trace_out_requires_a_trace_source(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig7", "--trace-out", "/tmp/x"])
+        err = capsys.readouterr().err
+        assert "--trace-out needs" in err
+
+    def test_negative_timeline_interval_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig7", "--timeline-interval", "-4"])
+        assert "--timeline-interval must be >= 0" in capsys.readouterr().err
+
+
+class TestTraceBundle:
+    def test_traced_figure_writes_bundle(self, tmp_path, capsys):
+        out = tmp_path / "trace"
+        rc = main(["fig7", "--threads", "2", "--scale", "0.05",
+                   "--trace-events", "--trace-out", str(out)])
+        assert rc == 0
+        assert (out / "events.jsonl").exists()
+        assert (out / "timeline.npz").exists()
+        assert (out / "report.txt").exists()
+        labels = {json.loads(ln)["run"] for ln in
+                  (out / "events.jsonl").read_text().splitlines()}
+        # fig7 sweeps every paper app at d in {0, 4, 8}
+        assert any(lbl.endswith(".d4") for lbl in labels)
+        merged = load_merged(out / "timeline.npz")
+        assert set(merged) == labels
+        assert "[trace:" in capsys.readouterr().out
+
+    def test_trace_events_implies_default_interval(self, capsys,
+                                                   monkeypatch):
+        seen = {}
+
+        class FakeCache:
+            def __init__(self, **kwargs):
+                seen.update(kwargs)
+                raise RuntimeError("stop here")
+
+        monkeypatch.setattr(F, "SweepCache", FakeCache)
+        with pytest.raises(RuntimeError):
+            main(["fig7", "--trace-events"])
+        opts = seen["options"]
+        assert opts.trace_events is True
+        assert opts.timeline_interval == DEFAULT_TIMELINE_INTERVAL
+
+    def test_untraced_run_reports_nothing_to_export(self, capsys):
+        rc = main(["table1", "--timeline-interval", "100",
+                   "--trace-out", "/tmp/unused-trace-dir"])
+        assert rc == 0
+        assert "[trace: no traced sweep runs to export]" in (
+            capsys.readouterr().out
+        )
+
+
+class TestCrashContext:
+    def test_figure_crash_names_the_figure(self, capsys, monkeypatch):
+        def boom():
+            raise RuntimeError("synthetic figure failure")
+
+        monkeypatch.setattr(F, "table1", boom)
+        with pytest.raises(RuntimeError, match="synthetic figure failure"):
+            main(["table1"])
+        err = capsys.readouterr().err
+        assert "[table1: failed: RuntimeError: synthetic figure failure]" \
+            in err

@@ -1,0 +1,134 @@
+"""RunOptions: validation, derived configs, and the deprecation shims."""
+import pickle
+
+import pytest
+
+from repro.harness import RunOptions, resolve_options
+from repro.harness.experiment import experiment_config, run_workload
+from repro.harness.figures import SweepCache
+
+
+class TestRunOptions:
+    def test_defaults_are_off(self):
+        opts = RunOptions()
+        assert opts.check_invariants is True
+        assert opts.fault_rate == 0.0
+        assert opts.jobs == 1
+        assert not opts.tracing
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunOptions(fault_rate=-1)
+        with pytest.raises(ValueError):
+            RunOptions(fault_policy="explode")
+        with pytest.raises(ValueError):
+            RunOptions(jobs=0)
+        with pytest.raises(ValueError):
+            RunOptions(timeline_interval=-1)
+        with pytest.raises(ValueError):
+            RunOptions(flight_recorder=-1)
+
+    def test_tracing_property(self):
+        assert RunOptions(trace_events=True).tracing
+        assert RunOptions(timeline_interval=100).tracing
+        assert RunOptions(flight_recorder=8).tracing
+
+    def test_replace_returns_new_frozen_value(self):
+        a = RunOptions()
+        b = a.replace(fault_rate=5.0, fault_policy="log")
+        assert a.fault_rate == 0.0 and b.fault_rate == 5.0
+        with pytest.raises(Exception):
+            b.fault_rate = 9.0
+
+    def test_picklable_and_hashable(self):
+        opts = RunOptions(trace_events=True, jobs=4)
+        assert pickle.loads(pickle.dumps(opts)) == opts
+        assert hash(opts) == hash(RunOptions(trace_events=True, jobs=4))
+
+    def test_derived_configs(self):
+        opts = RunOptions(check_invariants=False, fault_rate=2.5,
+                          fault_seed=7, fault_policy="recover",
+                          trace_events=True, timeline_interval=512,
+                          flight_recorder=32)
+        v = opts.verify_config(watchdog_interval=1000)
+        assert v.check_invariants is False
+        assert v.watchdog_interval == 1000
+        f = opts.fault_config()
+        assert (f.cache_rate, f.seed, f.policy) == (2.5, 7, "recover")
+        o = opts.obs_config()
+        assert o.trace_events and o.timeline_interval == 512
+        assert o.flight_depth == 32
+
+
+class TestResolveOptions:
+    def test_plain_options_pass_through_silently(self, recwarn):
+        opts = RunOptions(jobs=3)
+        assert resolve_options(opts, who="x") is opts
+        assert resolve_options(None, who="x") == RunOptions()
+        assert not [w for w in recwarn
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_legacy_kwargs_warn_and_override(self):
+        with pytest.warns(DeprecationWarning, match=r"x: keyword\(s\)"):
+            out = resolve_options(RunOptions(fault_rate=1.0), who="x",
+                                  fault_rate=9.0, jobs=2)
+        assert out.fault_rate == 9.0
+        assert out.jobs == 2
+
+    def test_none_valued_kwargs_do_not_warn(self, recwarn):
+        out = resolve_options(None, who="x", fault_rate=None, jobs=None)
+        assert out == RunOptions()
+        assert not [w for w in recwarn
+                    if issubclass(w.category, DeprecationWarning)]
+
+
+class TestSurfaceShims:
+    """Every public surface keeps its old keywords, with a warning."""
+
+    def test_experiment_config_shim(self):
+        with pytest.warns(DeprecationWarning, match="experiment_config"):
+            cfg = experiment_config(enabled=False, check_invariants=False,
+                                    fault_rate=10.0)
+        assert cfg.verify.check_invariants is False
+        assert cfg.faults.cache_rate == 10.0
+
+    def test_run_workload_shim(self):
+        with pytest.warns(DeprecationWarning, match="run_workload"):
+            row = run_workload("histogram", d_distance=4, num_threads=2,
+                               scale=0.05, check_invariants=False)
+        assert row.cycles > 0
+
+    def test_sweep_cache_shim_and_legacy_views(self):
+        with pytest.warns(DeprecationWarning, match="SweepCache"):
+            cache = SweepCache(num_threads=2, scale=0.05,
+                               check_invariants=False, fault_rate=3.0,
+                               jobs=2)
+        assert cache.jobs == 2
+        assert cache.check_invariants is False
+        assert cache.fault_rate == 3.0
+        # faulty sweeps force the log policy so rows complete
+        assert cache.options.fault_policy == "log"
+
+    def test_sweep_cache_options_only_is_silent(self, recwarn):
+        cache = SweepCache(num_threads=2, scale=0.05,
+                           options=RunOptions(check_invariants=False))
+        assert cache.options.check_invariants is False
+        assert not [w for w in recwarn
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_run_pair_shim(self):
+        from repro.harness.experiment import run_pair
+
+        with pytest.warns(DeprecationWarning, match="run_pair"):
+            base, gw = run_pair("histogram", d_distance=4, num_threads=2,
+                                scale=0.05, jobs=1)
+        assert base.d_distance == 0
+        assert gw.d_distance == 4
+
+    def test_fault_sweep_shim(self):
+        from repro.faults.sweep import fault_sweep
+
+        with pytest.warns(DeprecationWarning, match="fault_sweep"):
+            result = fault_sweep("histogram", num_threads=2, scale=0.05,
+                                 rates=(0.0,), jobs=1)
+        assert result.cells

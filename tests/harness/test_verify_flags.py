@@ -1,6 +1,7 @@
 """Verification/fault flags: CLI parsing and config threading."""
 from repro.harness.cli import _build_parser, main
 from repro.harness.experiment import WATCHDOG_INTERVAL, experiment_config
+from repro.harness.options import RunOptions
 
 
 class TestParser:
@@ -31,8 +32,9 @@ class TestConfigThreading:
 
     def test_experiment_config_faults(self):
         cfg = experiment_config(
-            enabled=False, check_invariants=False,
-            fault_rate=50.0, fault_seed=9, fault_policy="log",
+            enabled=False,
+            options=RunOptions(check_invariants=False, fault_rate=50.0,
+                               fault_seed=9, fault_policy="log"),
         )
         assert cfg.verify.check_invariants is False
         assert cfg.faults.cache_rate == 50.0

@@ -1,0 +1,117 @@
+"""Component event emission: what a traced machine actually puts on the bus."""
+from repro.common.types import CoherenceState
+from repro.obs.events import EventKind, EventRecorder
+
+from tests.conftest import (
+    Compute, Load, Scribble, SetAprx, Store, build_machine, run_scripts,
+)
+
+BLK = 0x4000
+
+
+def _traced(num_cores=2, **kwargs):
+    m = build_machine(num_cores, **kwargs)
+    rec = EventRecorder()
+    m.attach_bus().subscribe(rec.record)
+    return m, rec
+
+
+class TestAttachBus:
+    def test_default_machine_has_no_bus(self):
+        m = build_machine(2)
+        assert m.bus is None
+        for l1 in m.l1s:
+            assert l1.bus is None
+        assert m.network.bus is None
+
+    def test_attach_is_idempotent_and_wires_everything(self):
+        m = build_machine(2)
+        bus = m.attach_bus()
+        assert m.attach_bus() is bus
+        assert m.network.bus is bus
+        for l1 in m.l1s:
+            assert l1.bus is bus
+            assert l1.scribe.bus is bus
+        for slc in m.l2_slices:
+            assert slc.bus is bus
+
+
+class TestEmission:
+    def test_sharing_run_emits_every_core_kind(self):
+        m, rec = _traced(2)
+
+        def writer():
+            yield Store(BLK, 1)
+            yield Compute(50)
+
+        def reader():
+            yield Compute(20)
+            yield Load(BLK)
+
+        run_scripts(m, writer(), reader())
+        kinds = {e.kind for e in rec}
+        assert {EventKind.ACCESS, EventKind.STATE, EventKind.MSG,
+                EventKind.DIR, EventKind.L2} <= kinds
+        assert m.bus.events_emitted == len(rec)
+
+    def test_access_events_carry_byte_addr_and_hit_info(self):
+        m, rec = _traced(1)
+
+        def prog():
+            yield Store(BLK + 4, 9)
+            yield Load(BLK + 4)
+
+        run_scripts(m, prog())
+        acc = rec.by_kind(EventKind.ACCESS)
+        assert [e.what for e in acc] == ["store", "load"]
+        assert [e.info for e in acc] == ["miss", "hit"]
+        assert all(e.addr == BLK + 4 for e in acc)
+
+    def test_state_events_name_the_transition(self):
+        m, rec = _traced(1)
+
+        def prog():
+            yield Store(BLK, 3)
+
+        run_scripts(m, prog())
+        whats = [e.what for e in rec.by_kind(EventKind.STATE)]
+        assert any(w.endswith("->M") for w in whats)
+
+    def test_msg_events_carry_message_class(self):
+        m, rec = _traced(2)
+
+        def writer():
+            yield Store(BLK, 1)
+
+        def reader():
+            yield Compute(100)
+            yield Load(BLK)
+
+        run_scripts(m, writer(), reader())
+        msgs = rec.by_kind(EventKind.MSG)
+        assert {"GETS", "GETX"} <= {e.info for e in msgs}
+
+    def test_scribble_on_s_emits_accept_and_enters_gs(self):
+        # M copies absorb scribbles exactly (no comparator, no event);
+        # the similarity check — and the GS entry it grants — happens
+        # when the writer scribbles on a demoted S copy.
+        m, rec = _traced(2, d_distance=4)
+
+        def owner():
+            yield SetAprx(4)
+            yield Store(BLK, 0b1000)
+            yield Compute(200)
+            yield Scribble(BLK, 0b1001)   # on S, 1 bit away: accepted
+
+        def reader():
+            yield Compute(60)
+            yield Load(BLK)               # demotes the owner M->S
+
+        run_scripts(m, owner(), reader())
+        sc = rec.by_kind(EventKind.SCRIBBLE)
+        assert [e.what for e in sc] == ["accept"]
+        assert sc[0].value == 1           # observed d-distance
+        assert sc[0].node == 0
+        whats = [e.what for e in rec.by_kind(EventKind.STATE)]
+        assert any(w.endswith(f"->{CoherenceState.GS.value}")
+                   for w in whats), whats

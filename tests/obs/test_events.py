@@ -1,0 +1,95 @@
+"""EventBus / recorder primitives."""
+import pytest
+
+from repro.obs.events import (
+    Event, EventBus, EventKind, EventRecorder, FlightRecorder,
+)
+
+
+def _ev(cycle=1, kind=EventKind.ACCESS, node=0, addr=0x40, what="load",
+        info="hit", value=7):
+    return Event(cycle, kind, node, addr, what, info, value)
+
+
+class TestEvent:
+    def test_to_record_is_flat_json(self):
+        rec = _ev().to_record()
+        assert rec == {"cycle": 1, "kind": "access", "node": 0,
+                       "addr": 0x40, "what": "load", "info": "hit",
+                       "value": 7}
+
+    def test_render_mentions_kind_addr_and_info(self):
+        text = _ev(cycle=12, addr=0x1000).render()
+        assert "[access]" in text
+        assert "0x1000" in text
+        assert "(hit)" in text
+        assert "v=7" in text
+
+    def test_render_omits_empty_info_and_zero_value(self):
+        text = _ev(info="", value=0).render()
+        assert "(" not in text
+        assert "v=" not in text
+
+
+class TestEventBus:
+    def test_emit_fans_out_in_subscription_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe(lambda e: order.append(("a", e.cycle)))
+        bus.subscribe(lambda e: order.append(("b", e.cycle)))
+        bus.emit(_ev(cycle=5))
+        assert order == [("a", 5), ("b", 5)]
+        assert bus.events_emitted == 1
+
+    def test_duplicate_subscriber_rejected(self):
+        bus = EventBus()
+        fn = lambda e: None  # noqa: E731
+        bus.subscribe(fn)
+        with pytest.raises(ValueError):
+            bus.subscribe(fn)
+
+    def test_unsubscribe_stops_delivery_and_tolerates_strangers(self):
+        bus = EventBus()
+        seen = []
+        fn = seen.append
+        bus.subscribe(fn)
+        bus.unsubscribe(fn)
+        bus.unsubscribe(fn)          # second removal is a no-op
+        bus.emit(_ev())
+        assert seen == []
+        assert bus.subscriber_count == 0
+
+
+class TestEventRecorder:
+    def test_records_and_filters_by_kind(self):
+        rec = EventRecorder()
+        rec.record(_ev(kind=EventKind.ACCESS))
+        rec.record(_ev(kind=EventKind.MSG, what="GETS"))
+        assert len(rec) == 2
+        assert [e.what for e in rec.by_kind(EventKind.MSG)] == ["GETS"]
+        assert len(rec.records()) == 2
+        rec.clear()
+        assert len(rec) == 0
+
+
+class TestFlightRecorder:
+    def test_ring_keeps_only_the_tail(self):
+        ring = FlightRecorder(4)
+        for i in range(10):
+            ring.record(_ev(cycle=i))
+        assert len(ring) == 4
+        assert ring.events_seen == 10
+        assert [e.cycle for e in ring.tail()] == [6, 7, 8, 9]
+        assert [e.cycle for e in ring.tail(2)] == [8, 9]
+
+    def test_render_tail_header_counts(self):
+        ring = FlightRecorder(2)
+        for i in range(5):
+            ring.record(_ev(cycle=i))
+        text = ring.render_tail()
+        assert "last 2 of 5 events" in text
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(0)
+        assert FlightRecorder(16).depth == 16

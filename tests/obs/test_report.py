@@ -1,0 +1,57 @@
+"""Per-phase report rendering."""
+import numpy as np
+import pytest
+
+from repro.obs.capture import ObsCapture
+from repro.obs.report import render_report
+from repro.obs.timeline import Timeline
+
+
+def _event(cycle, kind, **over):
+    rec = {"cycle": cycle, "kind": kind, "node": 0, "addr": 0x40,
+           "what": "", "info": "", "value": 0}
+    rec.update(over)
+    return rec
+
+
+class TestRenderReport:
+    def test_empty_capture(self):
+        assert render_report(ObsCapture()) == (
+            "(no observability data captured)"
+        )
+
+    def test_phase_count_validation(self):
+        with pytest.raises(ValueError):
+            render_report(ObsCapture(events=(_event(0, "msg"),)), phases=0)
+
+    def test_events_bucketed_by_phase(self):
+        events = (
+            _event(0, "msg", info="GETS"),
+            _event(10, "state", what="S->GS"),
+            _event(90, "state", what="GS->I", info="GI timeout"),
+            _event(95, "scribble", what="accept", value=2),
+            _event(99, "scribble", what="reject", value=6),
+        )
+        text = render_report(ObsCapture(events=events), phases=2)
+        lines = {ln.split("  ")[0].strip(): ln for ln in text.splitlines()}
+        assert "over 100 cycles, 2 phases" in text
+        assert lines["GS entries"].split()[-2:] == ["1", "0"]
+        assert lines["GI-timeout flashes"].split()[-2:] == ["0", "1"]
+        assert lines["scribble accept/reject"].split()[-2:] == ["0/0", "1/1"]
+        assert lines["mean observed d"].split()[-2:] == ["-", "4.00"]
+
+    def test_timeline_residency_folded_in(self):
+        tl = Timeline({
+            "cycle": np.asarray([0, 50, 99]),
+            "gs_resident": np.asarray([0, 4, 2]),
+            "gi_resident": np.asarray([0, 0, 1]),
+        })
+        text = render_report(ObsCapture(timeline=tl), phases=2)
+        lines = {ln.split("  ")[0].strip(): ln for ln in text.splitlines()}
+        assert lines["mean GS resident"].split()[-2:] == ["0.0", "3.0"]
+        assert lines["mean GI resident"].split()[-2:] == ["0.0", "0.5"]
+
+    def test_events_only_capture_omits_residency_rows(self):
+        text = render_report(ObsCapture(events=(_event(5, "msg",
+                                                       info="GETS"),)))
+        assert "mean GS resident" not in text

@@ -59,11 +59,18 @@ class TestRecorder:
         assert len(t) == 1
         assert t.atype_of(0) is AccessType.LOAD
 
-    def test_double_attach_rejected(self):
+    def test_two_recorders_compose(self):
+        # bus subscribers compose: both recorders see every access
         m = build_machine(1)
-        TraceRecorder(m)
-        with pytest.raises(RuntimeError):
-            TraceRecorder(m)
+        rec1 = TraceRecorder(m)
+        rec2 = TraceRecorder(m)
+
+        def prog():
+            yield Store(BLK, 1)
+
+        run_scripts(m, prog())
+        assert len(rec1) == 1
+        assert len(rec2) == 1
 
     def test_detach_stops_recording(self):
         m = build_machine(1)

@@ -193,10 +193,13 @@ class TestEndOfRunGate:
     def test_workload_checks_respect_flag(self):
         # the flag only gates the calls; both settings must run clean
         from repro.harness.experiment import run_workload
+        from repro.harness.options import RunOptions
 
         row = run_workload("histogram", d_distance=4, num_threads=2,
-                           scale=0.05, check_invariants=True)
+                           scale=0.05,
+                           options=RunOptions(check_invariants=True))
         assert row.cycles > 0
         row = run_workload("histogram", d_distance=4, num_threads=2,
-                           scale=0.05, check_invariants=False)
+                           scale=0.05,
+                           options=RunOptions(check_invariants=False))
         assert row.cycles > 0

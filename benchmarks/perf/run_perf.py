@@ -5,8 +5,11 @@ Times the simulator paths the parallel-sweep PR optimized — same-cycle
 event dispatch, scribe similarity checks, L1 stats recording, the
 vectorized d-distance kernels, and one end-to-end workload run — plus
 the observability layer's costs (raw EventBus fan-out and a fully
-traced workload run, against the untraced run for the overhead ratio) —
-and emits a machine-readable ``BENCH_perf.json`` so the performance
+traced workload run, against the untraced run for the overhead ratio)
+and a protocol dimension (a pure L1 hit loop under the precise MESI
+policy vs the full Ghostwriter policy — the policy-indirection
+measurement — plus end-to-end runs of two registry variants) — and
+emits a machine-readable ``BENCH_perf.json`` so the performance
 trajectory is tracked from this PR on.
 
 Usage::
@@ -154,6 +157,72 @@ def bench_workload_false_sharing(n: int):
     return thunk, ops_box[0]
 
 
+def _hit_loop_l1(protocol: str):
+    """A live machine whose L1 0 holds one block in M, ready for a pure
+    hit loop (the warm store miss is drained before timing starts)."""
+    from dataclasses import replace
+
+    from repro.common.config import small_config
+    from repro.common.types import AccessType
+    from repro.sim.machine import Machine
+
+    from repro.coherence.policy import get_protocol
+
+    cfg = replace(
+        small_config(num_cores=2, enabled=get_protocol(protocol).approx),
+        protocol=protocol,
+    )
+    m = Machine(cfg)
+    l1 = m.l1s[0]
+    hit, _ = l1.access(AccessType.STORE, 0x8000, 1, lambda _v: None)
+    if not hit:
+        m.engine.run()
+    return l1
+
+
+def bench_l1_hit_path(protocol: str):
+    """Factory of factories: the L1 load-hit hot path under ``protocol``.
+
+    The loop is pure hits on a resident M line, so the two variants
+    execute the same work except for policy-derived branches — the
+    ``l1_hit_path_mesi`` / ``l1_hit_path_ghostwriter`` pair is the
+    policy-indirection overhead measurement (the smoke test pins the
+    ratio under 5%).
+    """
+    def factory(n: int):
+        from repro.common.types import AccessType
+
+        l1 = _hit_loop_l1(protocol)
+
+        def thunk() -> None:
+            acc = l1.access
+            load = AccessType.LOAD
+            nop = (lambda _v: None)
+            for _ in range(n):
+                acc(load, 0x8000, None, nop)
+        return thunk, n
+    return factory
+
+
+def bench_workload_protocol(protocol: str, d_distance: int):
+    """Factory of factories: the false-sharing workload under an
+    arbitrary registered protocol (the perf suite's protocol dimension);
+    ops = simulated cycles."""
+    def factory(n: int):
+        from repro.harness.experiment import run_workload
+
+        ops_box = [1]
+
+        def thunk() -> None:
+            row = run_workload("bad_dot_product", protocol=protocol,
+                               d_distance=d_distance, num_threads=4,
+                               seed=12345, n_points=n, max_value=7)
+            ops_box[0] = row.cycles
+        thunk()  # warm once so the reported op count is the real cycle count
+        return thunk, ops_box[0]
+    return factory
+
+
 def bench_event_bus_emit(n: int):
     """Raw EventBus fan-out with one subscriber (the tracing fast path)."""
     from repro.obs.events import Event, EventBus, EventKind
@@ -199,6 +268,16 @@ BENCHMARKS: list[tuple[str, Callable, int, int]] = [
     ("workload_false_sharing", bench_workload_false_sharing, 1024, 96),
     ("event_bus_emit", bench_event_bus_emit, 200_000, 500),
     ("workload_obs_tracing", bench_workload_obs_tracing, 1024, 96),
+    # protocol dimension: the policy-indirection pair (pure L1 hit loop,
+    # precise MESI vs full Ghostwriter policy) and end-to-end runs of the
+    # registry's precise baseline and one non-paper variant
+    ("l1_hit_path_mesi", bench_l1_hit_path("mesi"), 50_000, 500),
+    ("l1_hit_path_ghostwriter", bench_l1_hit_path("ghostwriter"),
+     50_000, 500),
+    ("workload_protocol_mesi", bench_workload_protocol("mesi", 0),
+     1024, 96),
+    ("workload_protocol_update_hybrid",
+     bench_workload_protocol("update-hybrid", 4), 1024, 96),
 ]
 
 
@@ -269,11 +348,11 @@ def validate_report(report: dict) -> None:
 
 
 def _render(report: dict) -> str:
-    header = f"{'benchmark':<28} {'ops':>9} {'best (s)':>10} {'ops/s':>12}"
+    header = f"{'benchmark':<32} {'ops':>9} {'best (s)':>10} {'ops/s':>12}"
     lines = [header, "-" * len(header)]
     for row in report["benchmarks"]:
         lines.append(
-            f"{row['name']:<28} {row['ops']:>9} "
+            f"{row['name']:<32} {row['ops']:>9} "
             f"{row['best_seconds']:>10.4f} {row['ops_per_second']:>12.0f}"
         )
     return "\n".join(lines)

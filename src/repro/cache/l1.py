@@ -1,4 +1,4 @@
-"""Private L1 data-cache controller: baseline MESI plus Ghostwriter.
+"""Private L1 data-cache controller: protocol mechanism, policy injected.
 
 This is the component the paper modifies (Fig. 3 / Fig. 6).  It owns:
 
@@ -17,6 +17,14 @@ and ``GI`` blocks return the *local* words, which may diverge from the
 globally coherent value; locally scribbled updates are silently dropped
 whenever the block leaves an approximate state.  Nothing in GS/GI is ever
 written back.
+
+Everything protocol-*variant*-specific — may a scribble enter GS/GI,
+does an INV on GS invalidate or self-invalidate, MESI vs MOESI dirty
+forwarding, write-update UPGRADEs — is decided by the injected
+:class:`~repro.coherence.policy.ProtocolPolicy`; this controller keeps
+only the mechanism.  The policy's decision bits are pre-resolved into
+plain booleans at construction so the per-access hot path never touches
+the policy object.
 """
 from __future__ import annotations
 
@@ -60,6 +68,8 @@ class L1Controller:
         engine: Engine,
         network: Network,
         stats: StatGroup,
+        *,
+        policy=None,
     ) -> None:
         self.node = node
         self.cfg = cfg
@@ -67,6 +77,19 @@ class L1Controller:
         self.engine = engine
         self.network = network
         self.stats = stats
+        # Machine resolves the policy once and passes it down; direct
+        # constructions (unit tests) fall back to the config's resolution
+        self.policy = cfg.policy if policy is None else policy
+        # policy decision bits, pre-resolved for the per-access hot path
+        self._allow_gs = self.policy.allows_gs
+        self._allow_gi = self.policy.allows_gi
+        self._approx = self.policy.approx
+        self._moesi = self.policy.base == "moesi"
+        self._gs_self_invalidate = (
+            self.policy.remote_store_gs == "self-invalidate"
+        )
+        self._update_upgrades = self.policy.update_on_upgrade
+        self._gs_fallback_getx = self.policy.gs_fallback_is_getx(self.gw)
         self.array = CacheArray(cfg.l1)
         self.mshrs = MshrFile(capacity=8)
         self.scribe = ScribeUnit(
@@ -288,7 +311,7 @@ class L1Controller:
             if state is _S.S:
                 if (
                     atype is AccessType.SCRIBBLE
-                    and self.gw.enabled
+                    and self._allow_gs
                     and self._scribe_check(value, line.words[off], block)
                 ):
                     line.words[off] = value
@@ -304,7 +327,7 @@ class L1Controller:
             if state is _S.I:
                 if (
                     atype is AccessType.SCRIBBLE
-                    and self.gw.enabled
+                    and self._allow_gi
                     and self._scribe_check(value, line.words[off], block)
                 ):
                     line.words[off] = value
@@ -391,15 +414,18 @@ class L1Controller:
             mtype = MessageType.UPGRADE
         elif line.state is _S.GS:
             # Conventional fallback from a divergent GS copy.  Two designs
-            # (ablation knob ``gs_fallback_getx``):
-            # * GETX (default): discard the divergent copy, fetch fresh
-            #   data, apply only this store's word — publishes the
-            #   thread's own accumulated word without clobbering other
-            #   threads' words with the holder's stale view.
-            # * UPGRADE: publish the whole locally-modified block in
-            #   place (cheaper, no data transfer, but stale words of
-            #   other threads become globally visible).
-            if self.gw.gs_fallback_getx:
+            # (the ``gs_fallback_getx`` ablation knob, which the policy
+            # may override — update protocols force GETX, since an
+            # in-place UPGRADE would leave divergent scribbled words in a
+            # now-coherent S line):
+            # * GETX: discard the divergent copy, fetch fresh data, apply
+            #   only this store's word — publishes the thread's own
+            #   accumulated word without clobbering other threads' words
+            #   with the holder's stale view.
+            # * UPGRADE (default): publish the whole locally-modified
+            #   block in place (cheaper, no data transfer, but stale
+            #   words of other threads become globally visible).
+            if self._gs_fallback_getx:
                 self.stats.approx_data_dropped += 1
                 kind = MshrKind.STORE
                 self._set_state(line, _S.IM_D,
@@ -425,7 +451,13 @@ class L1Controller:
         )
         self.mshrs.allocate(entry)
         self._c["misses_issued"] += 1
-        self._send(mtype, block, self._home(block), requestor=self.node)
+        if mtype is MessageType.UPGRADE and self._update_upgrades:
+            # the home may fan this write out as UPDATEs to the other
+            # sharers, so the request itself carries the written word
+            self._send(mtype, block, self._home(block), requestor=self.node,
+                       addr=addr, value=value)
+        else:
+            self._send(mtype, block, self._home(block), requestor=self.node)
         _ = off  # word offset re-derived at fill time
 
     def _evict(self, line: CacheLine) -> None:
@@ -511,6 +543,8 @@ class L1Controller:
             self._on_ack(msg)
         elif mtype is MessageType.INV:
             self._on_inv(msg)
+        elif mtype is MessageType.UPDATE:
+            self._on_update(msg)
         elif mtype is MessageType.FWD_GETS or mtype is MessageType.FWD_GETX:
             self._on_fwd(msg)
         else:
@@ -565,7 +599,13 @@ class L1Controller:
                 raise ProtocolError(f"ACK without SM_D line: {msg}")
             off = self._word_off(entry.addr)
             line.words[off] = entry.value
-            self._set_state(line, _S.M, "upgrade granted")
+            if msg.shared:
+                # write-update hybrid: the home pushed our write to the
+                # surviving sharers instead of invalidating them, so the
+                # grant leaves us a (coherent) sharer rather than owner
+                self._set_state(line, _S.S, "upgrade granted (sharers updated)")
+            else:
+                self._set_state(line, _S.M, "upgrade granted")
             # an UPGRADE grant from a divergent GS copy publishes the
             # whole locally-modified block, so commit all of it
             self._commit(line)
@@ -601,11 +641,23 @@ class L1Controller:
             self._set_state(line, _S.I, "O invalidated by sharer upgrade")
             st.invalidations += 1
         elif line.state is _S.GS:
-            # remote conventional store reclaims the block; local
-            # approximate updates are forfeited (paper 3.2/3.5)
-            self._set_state(line, _S.I, "GS invalidated")
-            self._note_gs_loss()
-            st.invalidations += 1
+            if self._gs_self_invalidate:
+                # self-invalidation variant: keep the (now stale) copy
+                # as GI instead of dropping it — the holder reads its
+                # local view until the GI timeout flash-invalidates it.
+                # The INV is still acknowledged, and the directory
+                # forgets us, so the demoted copy is invisible exactly
+                # like any other GI block.
+                self._set_state(line, _S.GI, "GS self-invalidates to GI")
+                self._enter_gi(block)
+                st.invalidations += 1
+                st.self_invalidations += 1
+            else:
+                # remote conventional store reclaims the block; local
+                # approximate updates are forfeited (paper 3.2/3.5)
+                self._set_state(line, _S.I, "GS invalidated")
+                self._note_gs_loss()
+                st.invalidations += 1
         elif line.state is _S.GI:
             # the directory does not track GI copies, so this is a stale
             # invalidation from our earlier S era; drop to I conservatively
@@ -642,6 +694,46 @@ class L1Controller:
 
     def _note_gs_loss(self) -> None:
         self.stats.approx_data_dropped += 1
+
+    # -- pushed updates (write-update hybrid) -----------------------------
+    def _on_update(self, msg: Message) -> None:
+        """The home pushed a freshly written block to its sharers.
+
+        Apply it to any shared-era copy.  The home collects our INV_ACK
+        before completing the update transaction, which is what makes a
+        *stale* UPDATE to a live S copy impossible: any later fill we
+        could have received dispatches only after that completion.  A
+        copy that already left the sharer set (evicted, or re-requesting
+        in IS_D/IM_D) ignores the push — the eventual fill carries
+        post-update data — but still acknowledges it.
+        """
+        block = msg.block_addr
+        line = self.array.lookup(block, touch=False)
+        st = self.stats
+        state = None if line is None else line.state
+        if state is _S.S:
+            line.words[:] = msg.words
+            st.updates_applied += 1
+        elif state is _S.GS:
+            # a remote store reclaims the block: under the update hybrid
+            # the pushed data replaces the local scribbles (re-cohered)
+            line.words[:] = msg.words
+            self._set_state(line, _S.S, "UPDATE re-coheres GS")
+            self._note_gs_loss()
+            st.updates_applied += 1
+        elif state is _S.SM_D:
+            # our own UPGRADE is queued at the home behind the pusher's;
+            # refresh the base copy so our grant publishes current data
+            line.words[:] = msg.words
+            st.updates_applied += 1
+        elif state in (_S.E, _S.M, _S.O):
+            # cannot happen (see docstring): ownership requires a prior
+            # transaction, which requires our update ack first
+            raise ProtocolError(f"UPDATE to owner state {state}: {msg}")
+        else:
+            # I/GI/IS_D/IM_D or no tag: no longer a live sharer copy
+            st.stray_updates += 1
+        self._send(MessageType.INV_ACK, block, msg.src)
 
     # -- forwards ---------------------------------------------------------
     def _on_fwd(self, msg: Message) -> None:
@@ -699,7 +791,7 @@ class L1Controller:
         self._send(MessageType.FWD_DATA, block, msg.requestor,
                    words=line.words.copy())
         if msg.mtype is MessageType.FWD_GETS:
-            if dirty and self.cfg.protocol == "moesi":
+            if dirty and self._moesi:
                 # MOESI: keep supplying data from O; no home writeback
                 self._send(MessageType.CHAIN_ACK_OWNED, block, msg.src)
                 self._set_state(line, _S.O, "kept Owned on Fwd_GETS")
@@ -752,7 +844,7 @@ class L1Controller:
 
     def set_approx(self, d_distance: int) -> None:
         """``setaprx``: program and enable the scribe comparator."""
-        if self.gw.enabled:
+        if self._approx:
             self.scribe.program(d_distance)
 
     def end_approx(self) -> None:

@@ -68,8 +68,8 @@ class _Txn:
     """Bookkeeping for the single in-flight transaction on a block."""
 
     __slots__ = ("msg", "pending_acks", "data_words", "data_ready",
-                 "waiting_chain", "is_pure_upgrade", "_on_chain",
-                 "_data_src", "_check")
+                 "waiting_chain", "is_pure_upgrade", "is_update",
+                 "_on_chain", "_data_src", "_check")
 
     def __init__(self, msg: Message) -> None:
         self.msg = msg
@@ -78,6 +78,8 @@ class _Txn:
         self.data_ready = False
         self.waiting_chain = False
         self.is_pure_upgrade = False
+        #: update-hybrid: UPGRADE fanned out as UPDATEs, not INVs
+        self.is_update = False
         self._on_chain = None
         self._data_src: int | None = None
         #: custom completion predicate (MOESI dir-O GETX: acks + chain)
@@ -97,9 +99,15 @@ class DirectoryAgent:
         backing: BackingStore,
         dram: Dram,
         stats: StatGroup,
+        *,
+        policy=None,
     ) -> None:
         self.node = node
         self.cfg = cfg
+        # Machine resolves the policy once and passes it down; direct
+        # constructions (unit tests) fall back to the config's resolution
+        self.policy = cfg.policy if policy is None else policy
+        self._update_upgrades = self.policy.update_on_upgrade
         self.engine = engine
         self.network = network
         self.slices = slices
@@ -341,9 +349,18 @@ class DirectoryAgent:
                 self._complete_upgrade(e, block, req)
             return
         if e.state is DirState.S and req in e.sharers:
+            others = e.sharers - {req}
+            if self._update_upgrades and others:
+                # write-update hybrid: push the written block to the
+                # surviving sharers instead of invalidating them.  A
+                # sole sharer falls through to the normal invalidate
+                # path (granted M with zero acks), which avoids paying a
+                # data transaction for every private re-write — the
+                # classic update-protocol pathology.
+                self._do_update(e, msg, others)
+                return
             txn = e.txn
             txn.is_pure_upgrade = True
-            others = e.sharers - {req}
             txn.pending_acks = len(others)
             for node in others:
                 self._send(MessageType.INV, block, node)
@@ -363,6 +380,37 @@ class DirectoryAgent:
         e.owner = req
         e.state = DirState.EM
         self._send(MessageType.ACK, block, req)
+        self._finish(e, block)
+
+    def _do_update(self, e: DirEntry, msg: Message, others: set[int]) -> None:
+        """Write-update hybrid UPGRADE: apply the requestor's word to the
+        coherent copy, push the result to every other sharer, and grant
+        the requestor *shared* (not exclusive) access once all sharers
+        acknowledged.  Directory state stays S with the sharer set
+        unchanged — everyone still holds the (now refreshed) block."""
+        block, req = msg.block_addr, msg.src
+        if msg.addr is None or msg.value is None:
+            raise ProtocolError(f"update UPGRADE without word payload: {msg}")
+        txn = e.txn
+        txn.is_update = True
+        self.stats.upgrades += 1
+        self.stats.updates += 1
+
+        def data_ready(words: list[int], _src_node: int) -> None:
+            words = words.copy()
+            words[(msg.addr - block) // 4] = msg.value
+            self._l2_install(block, words, dirty=True)
+            txn.pending_acks = len(others)
+            for node in others:
+                self._send(MessageType.UPDATE, block, node,
+                           words=words.copy())
+                self.stats.updates_sent += 1
+
+        self._fetch(block, data_ready)
+
+    def _complete_update(self, e: DirEntry, block: int, req: int) -> None:
+        # requestor stays a sharer among sharers; state remains S
+        self._send(MessageType.ACK, block, req, shared=True)
         self._finish(e, block)
 
     def _do_puts(self, e: DirEntry, msg: Message) -> None:
@@ -412,6 +460,10 @@ class DirectoryAgent:
                 raise ProtocolError(f"unexpected INV_ACK: {msg}")
             txn.pending_acks -= 1
             req = txn.msg.src
+            if txn.is_update:
+                if txn.pending_acks == 0:
+                    self._complete_update(e, msg.block_addr, req)
+                return
             if txn.is_pure_upgrade:
                 if txn.pending_acks == 0:
                     self._complete_upgrade(e, msg.block_addr, req)

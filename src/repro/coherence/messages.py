@@ -20,7 +20,7 @@ class ProtocolError(RuntimeError):
 class Message:
     """One coherence message: type, block, src/dst nodes, and payload."""
     __slots__ = ("mtype", "block_addr", "src", "dst", "requestor", "words",
-                 "stale")
+                 "stale", "addr", "value", "shared")
 
     def __init__(
         self,
@@ -32,6 +32,9 @@ class Message:
         requestor: int | None = None,
         words: list[int] | None = None,
         stale: bool = False,
+        addr: int | None = None,
+        value: int | None = None,
+        shared: bool = False,
     ) -> None:
         if mtype.carries_data and words is None:
             raise ProtocolError(f"{mtype.label} must carry data")
@@ -45,6 +48,13 @@ class Message:
         self.words = words
         #: marks a directory ACK for a PUT that lost a race (discard)
         self.stale = stale
+        #: update-hybrid UPGRADE: byte address and value of the store, so
+        #: the home can apply it and push the result to the sharers
+        self.addr = addr
+        self.value = value
+        #: marks an upgrade-grant ACK that leaves the requestor in S (the
+        #: directory fanned the write out as UPDATEs instead of INVs)
+        self.shared = shared
 
     def payload_bytes(self, block_bytes: int, control_bytes: int) -> int:
         """Wire size: header for control messages, plus the block for data."""

@@ -147,8 +147,10 @@ class DramConfig:
 class GhostwriterConfig:
     """Knobs of the Ghostwriter protocol extension."""
 
-    #: Protocol on/off switch; False simulates pure baseline MESI (the
-    #: paper's "0 d-distance" bars).
+    #: Approximation on/off switch: False strips the GS/GI states from
+    #: whatever ``SimConfig.protocol`` names, leaving its precise base
+    #: (the paper's "0 d-distance" bars).  Protocol *selection* lives in
+    #: ``SimConfig.protocol`` / :mod:`repro.coherence.policy`.
     enabled: bool = True
     #: Maximum number of differing least-significant bits for a scribble
     #: to be serviced approximately.
@@ -327,10 +329,18 @@ class SimConfig:
     verify: VerifyConfig = field(default_factory=VerifyConfig)
     faults: FaultConfig = field(default_factory=FaultConfig)
     obs: ObsConfig = field(default_factory=ObsConfig)
-    #: Baseline write-invalidate protocol the Ghostwriter states extend:
-    #: "mesi" (the paper's evaluation baseline) or "moesi" (the paper's
-    #: claim that GS/GI "can be added to most existing protocols").
-    protocol: str = "mesi"
+    #: Coherence protocol, by registry name (see
+    #: :mod:`repro.coherence.policy`): "ghostwriter" (the paper's full
+    #: protocol, the default), "mesi"/"moesi" (precise baselines), the
+    #: "gw-gs-only"/"gw-gi-only" ablations, "ghostwriter-moesi", and the
+    #: non-paper "self-invalidate"/"update-hybrid" variants.  The legacy
+    #: spelling — "mesi"/"moesi" with ``ghostwriter.enabled=True`` —
+    #: still resolves to the matching Ghostwriter variant, with a
+    #: DeprecationWarning; ``ghostwriter.enabled=False`` strips the
+    #: approximate states from any variant (the d-distance-0 baseline
+    #: legs), so the default here is behavior-identical to the historic
+    #: ``protocol="mesi"`` + ``enabled`` encoding.
+    protocol: str = "ghostwriter"
     #: Directory state lookup/update occupancy per transaction, in
     #: cycles.  Serializes same-block transactions at the home, which is
     #: what makes heavy false sharing collapse (Fig. 1).
@@ -354,8 +364,14 @@ class SimConfig:
             raise ValueError("L1/L2 block sizes must match")
         if self.core_quantum < 1:
             raise ValueError("core quantum must be >= 1")
-        if self.protocol not in ("mesi", "moesi"):
-            raise ValueError(f"unknown protocol {self.protocol!r}")
+        # runtime (not import-time) registry lookup: common.config must
+        # stay importable before repro.coherence
+        from repro.coherence.policy import available_protocols
+        if self.protocol not in available_protocols():
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; registered: "
+                f"{', '.join(available_protocols())}"
+            )
         if self.dir_access_latency < 0:
             raise ValueError("directory latency cannot be negative")
 
@@ -363,6 +379,17 @@ class SimConfig:
     def block_bytes(self) -> int:
         """Cache block size shared by L1 and L2."""
         return self.l1.block_bytes
+
+    @property
+    def policy(self):
+        """The effective :class:`~repro.coherence.policy.ProtocolPolicy`
+        — the named protocol, with the approximate states stripped when
+        ``ghostwriter.enabled`` is off (and with the legacy
+        mesi/moesi-plus-enabled spelling resolved, warning once per
+        lookup).  ``Machine`` resolves this once at construction and
+        hands the policy down to every controller."""
+        from repro.coherence.policy import resolve_policy
+        return resolve_policy(self.protocol, self.ghostwriter.enabled)
 
     def with_ghostwriter(
         self, *, enabled: bool | None = None, d_distance: int | None = None,

@@ -162,6 +162,8 @@ class MessageType(enum.Enum):
     DATA_E = ("DATA_E", MessageClass.DATA, True)    # fill, exclusive grant
     ACK = ("ACK", MessageClass.OTHER, False)        # upgrade grant / wb ack
     INV = ("INV", MessageClass.OTHER, False)        # invalidate your copy
+    #: write-update hybrid: refresh your shared copy with this data
+    UPDATE = ("UPDATE", MessageClass.DATA, True)
     FWD_GETS = ("FWD_GETS", MessageClass.OTHER, False)
     FWD_GETX = ("FWD_GETX", MessageClass.OTHER, False)
     # L1 -> L1 / L1 -> directory responses

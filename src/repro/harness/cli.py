@@ -16,6 +16,7 @@ import argparse
 import sys
 import time
 
+from repro.coherence.policy import available_protocols
 from repro.harness import figures as F
 from repro.harness.options import RunOptions
 from repro.obs.timeline import DEFAULT_TIMELINE_INTERVAL
@@ -23,7 +24,10 @@ from repro.obs.timeline import DEFAULT_TIMELINE_INTERVAL
 __all__ = ["main"]
 
 _SWEEP_FIGS = ("fig7", "fig8", "fig9", "fig10", "fig11")
+# "protocols" (the cross-variant comparison) is opt-in, not part of "all":
+# it runs every registered variant and exists for ablation studies
 _ALL = ("table1", "table2", "fig1", "fig2") + _SWEEP_FIGS + ("fig12",)
+_EXTRA_FIGS = ("protocols",)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -31,8 +35,9 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="ghostwriter-figures",
         description="Regenerate the paper's tables and figures.",
     )
-    p.add_argument("figure", choices=_ALL + ("all",),
-                   help="which table/figure to regenerate")
+    p.add_argument("figure", choices=_ALL + _EXTRA_FIGS + ("all",),
+                   help="which table/figure to regenerate ('protocols' "
+                        "compares every registered coherence variant)")
     p.add_argument("--threads", type=int, default=F.DEFAULT_THREADS,
                    help="simulated cores / workload threads")
     p.add_argument("--scale", type=float, default=F.DEFAULT_SCALE,
@@ -40,8 +45,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=12345)
     p.add_argument("--out", metavar="DIR", default=None,
                    help="also export each figure as CSV + JSON under DIR")
-    p.add_argument("--protocol", choices=("mesi", "moesi"), default="mesi",
-                   help="baseline protocol for the sweep figures")
+    p.add_argument("--protocol", choices=available_protocols(),
+                   default="ghostwriter",
+                   help="coherence-protocol variant for the sweep figures "
+                        "(see repro.coherence.policy)")
     p.add_argument("--check-invariants", default=True,
                    action=argparse.BooleanOptionalAction,
                    help="verify quiescence + coherence invariants after "
@@ -93,11 +100,11 @@ def main(argv: list[str] | None = None) -> int:
                          fault_rate=args.fault_rate,
                          fault_seed=args.fault_seed, jobs=args.jobs,
                          trace_events=args.trace_events,
-                         timeline_interval=interval)
+                         timeline_interval=interval,
+                         protocol=args.protocol)
     wanted = _ALL if args.figure == "all" else (args.figure,)
     cache = F.SweepCache(num_threads=args.threads, scale=args.scale,
-                         seed=args.seed, protocol=args.protocol,
-                         options=options)
+                         seed=args.seed, options=options)
     sweep_wanted = [f for f in wanted if f in _SWEEP_FIGS]
     if args.jobs > 1 and sweep_wanted:
         # warm the shared sweep across the pool before the per-figure
@@ -167,6 +174,9 @@ def _run_figure(name, args, cache):
     if name == "fig12":
         return F.fig12(num_threads=args.threads, seed=args.seed,
                        jobs=args.jobs)
+    if name == "protocols":
+        return F.fig_protocols(num_threads=args.threads, seed=args.seed,
+                               jobs=args.jobs)
     raise AssertionError(name)  # pragma: no cover - argparse restricts
 
 

@@ -36,7 +36,7 @@ WATCHDOG_INTERVAL = 100_000
 def experiment_config(*, enabled: bool, d_distance: int = 4,
                       gi_timeout: int = 1024,
                       num_cores: int = DEFAULT_THREADS,
-                      protocol: str = "mesi",
+                      protocol: str | None = None,
                       options: RunOptions | None = None,
                       check_invariants: bool | None = None,
                       fault_rate: float | None = None,
@@ -45,17 +45,22 @@ def experiment_config(*, enabled: bool, d_distance: int = 4,
     """The scaled experiment machine (see module docstring).
 
     Run-shaping knobs — invariant checking, fault injection, event
-    tracing — come in through ``options`` (:class:`RunOptions`); the
-    individual ``check_invariants``/``fault_*`` keywords are deprecated
-    shims.  The progress watchdog is always armed so a deadlocked
-    experiment fails in ~2x ``WATCHDOG_INTERVAL`` cycles with a
-    diagnostic dump instead of spinning to ``max_cycles``.
+    tracing, the coherence ``protocol`` — come in through ``options``
+    (:class:`RunOptions`); the individual ``check_invariants``/``fault_*``
+    keywords are deprecated shims.  An explicit ``protocol`` argument
+    overrides ``options.protocol`` (legacy base-protocol spellings like
+    ``"moesi"`` still resolve through the registry shim, which warns).
+    The progress watchdog is always armed so a deadlocked experiment
+    fails in ~2x ``WATCHDOG_INTERVAL`` cycles with a diagnostic dump
+    instead of spinning to ``max_cycles``.
     """
     opts = resolve_options(
         options, who="experiment_config", check_invariants=check_invariants,
         fault_rate=fault_rate, fault_seed=fault_seed,
         fault_policy=fault_policy,
     )
+    if protocol is None:
+        protocol = opts.protocol
     # The experiment machine is the paper's Table 1 machine, unmodified:
     # with the self-limiting scribble-fallback semantics the approximate
     # dynamics do not depend on cache-capacity pressure, so no scaling of
@@ -91,6 +96,8 @@ class RunRow:
     stores: int
     load_misses: int
     store_misses: int
+    #: coherence protocol variant the run used (registry name)
+    protocol: str = "ghostwriter"
     #: observability capture of the run (None unless tracing was on);
     #: excluded from comparisons so serial-vs-parallel row equality is
     #: about the simulated results, not the capture objects
@@ -123,6 +130,7 @@ def _row_from_result(name: str, d_label: int, result: WorkloadResult,
     energy = EnergyAccountant(cfg).report(machine)
     return RunRow(
         obs=ObsCapture.from_machine(machine),
+        protocol=cfg.protocol,
         workload=name,
         d_distance=d_label,
         cycles=result.cycles,
@@ -145,16 +153,18 @@ def _row_from_result(name: str, d_label: int, result: WorkloadResult,
 def run_workload(name: str, *, d_distance: int,
                  num_threads: int = DEFAULT_THREADS,
                  scale: float = DEFAULT_SCALE, seed: int = 12345,
-                 gi_timeout: int = 1024, protocol: str = "mesi",
+                 gi_timeout: int = 1024, protocol: str | None = None,
                  options: RunOptions | None = None,
                  check_invariants: bool | None = None,
                  fault_rate: float | None = None,
                  fault_seed: int | None = None,
                  fault_policy: str | None = None,
                  **workload_kwargs) -> RunRow:
-    """Run one workload once.  ``d_distance=0`` disables Ghostwriter.
+    """Run one workload once.  ``d_distance=0`` disables approximation.
 
-    ``options`` carries the run-shaping knobs (:class:`RunOptions`); the
+    The coherence protocol comes from ``options.protocol`` unless the
+    ``protocol`` keyword overrides it.  ``options`` also carries the
+    other run-shaping knobs (:class:`RunOptions`); the
     individual ``check_invariants``/``fault_*`` keywords are deprecated
     shims.  When the options enable tracing, the returned row's ``obs``
     field holds the run's :class:`~repro.obs.capture.ObsCapture`.

@@ -80,6 +80,16 @@ def records_for(name: str, result: Any) -> list[dict[str, Any]]:
             for t, g, e in zip(result.timeouts, result.gi_serviced_pct,
                                result.error_pct)
         ]
+    if name == "protocols":
+        base = result.baseline_cycles()
+        return [
+            {"protocol": p, "cycles": row.cycles,
+             "speedup_vs_first": base / row.cycles,
+             "traffic": row.total_traffic, "error_pct": row.error_pct,
+             "gs_serviced_pct": row.gs_serviced_pct,
+             "gi_serviced_pct": row.gi_serviced_pct}
+            for p, row in zip(result.protocols, result.rows)
+        ]
     raise KeyError(f"no exporter for {name!r}")
 
 

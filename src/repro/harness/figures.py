@@ -25,7 +25,7 @@ from repro.workloads.registry import PAPER_WORKLOADS, create, table2_rows
 
 __all__ = [
     "SweepCache", "fig1", "fig2", "fig7", "fig8", "fig9", "fig10",
-    "fig11", "fig12", "table1", "table2",
+    "fig11", "fig12", "fig_protocols", "table1", "table2",
 ]
 
 _APPS = list(PAPER_WORKLOADS)
@@ -58,7 +58,7 @@ class SweepCache:
 
     def __init__(self, num_threads: int = DEFAULT_THREADS,
                  scale: float = DEFAULT_SCALE, seed: int = 12345,
-                 protocol: str = "mesi",
+                 protocol: str | None = None,
                  options: RunOptions | None = None,
                  check_invariants: bool | None = None,
                  fault_rate: float | None = None,
@@ -67,11 +67,11 @@ class SweepCache:
         self.num_threads = num_threads
         self.scale = scale
         self.seed = seed
-        self.protocol = protocol
         opts = resolve_options(
             options, who="SweepCache", check_invariants=check_invariants,
             fault_rate=fault_rate, fault_seed=fault_seed, jobs=jobs,
         )
+        self.protocol = protocol if protocol is not None else opts.protocol
         if opts.fault_rate:
             # faulty sweeps log-and-continue so every row completes
             opts = opts.replace(fault_policy="log")
@@ -519,4 +519,57 @@ def fig12(timeouts=(128, 512, 1024), num_threads: int = DEFAULT_THREADS,
         gi_pct.append(row.gi_serviced_pct)
         err.append(row.error_pct)
     return Fig12Result(list(timeouts), gi_pct, err)
+
+
+# ---------------------------------------------------------------------
+# Protocol-variant comparison on the false-sharing microbenchmark
+# ---------------------------------------------------------------------
+@dataclass(slots=True)
+class FigProtocolsResult:
+    protocols: list[str]
+    rows: list[RunRow]          # aligned with ``protocols``
+
+    def baseline_cycles(self) -> int:
+        """Cycle count of the first precise row (usually ``mesi``)."""
+        return self.rows[0].cycles
+
+    def render(self) -> str:
+        """The figure as an aligned text table."""
+        base = self.baseline_cycles()
+        table = [
+            [p, str(r.cycles), f"{base / r.cycles:5.2f}x",
+             str(r.total_traffic), f"{r.error_pct:8.3f}",
+             f"{r.gs_serviced_pct:5.1f}", f"{r.gi_serviced_pct:5.1f}"]
+            for p, r in zip(self.protocols, self.rows)
+        ]
+        return ("Protocol variants on the false-sharing microbenchmark "
+                "(bad_dot_product)\n"
+                + _fmt_table(
+                    ["protocol", "cycles", "speedup", "traffic",
+                     "error %", "GS %", "GI %"], table))
+
+
+def fig_protocols(protocols=None, *, d_distance: int = 4,
+                  num_threads: int = DEFAULT_THREADS, n_points: int = 4096,
+                  seed: int = 12345, jobs: int = 1,
+                  options: RunOptions | None = None) -> FigProtocolsResult:
+    """Every registered protocol variant on the Listing-1 microbenchmark.
+
+    Approximation-capable variants run at ``d_distance``; precise ones
+    run at ``d=0`` (see :func:`repro.harness.sweeps.sweep_protocols`).
+    """
+    from repro.harness.sweeps import sweep_protocols
+
+    result = sweep_protocols(
+        "bad_dot_product", protocols, d_distance=d_distance,
+        num_threads=num_threads, seed=seed, jobs=jobs, options=options,
+        n_points=n_points, max_value=3,
+    )
+    failed = result.failures()
+    if failed:
+        name, failure = failed[0]
+        raise RuntimeError(
+            f"protocol figure point {name!r} failed: {failure.render()}"
+        )
+    return FigProtocolsResult(list(result.values), list(result.rows))
 

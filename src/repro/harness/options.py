@@ -48,6 +48,9 @@ class RunOptions:
     #: Flight-recorder ring depth; 0 defers to ObsConfig's default
     #: (armed automatically whenever ``trace_events`` is on).
     flight_recorder: int = 0
+    #: Coherence protocol variant, one of
+    #: :func:`repro.coherence.policy.available_protocols`.
+    protocol: str = "ghostwriter"
 
     def __post_init__(self) -> None:
         if self.fault_rate < 0:
@@ -61,6 +64,15 @@ class RunOptions:
             raise ValueError("jobs must be >= 1")
         if self.timeline_interval < 0 or self.flight_recorder < 0:
             raise ValueError("obs intervals/depths cannot be negative")
+        # registry import is deferred so options stays importable from
+        # contexts that never touch the coherence layer
+        from repro.coherence.policy import available_protocols
+
+        if self.protocol not in available_protocols():
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; registered: "
+                f"{', '.join(available_protocols())}"
+            )
 
     # -- derived views -------------------------------------------------
     @property

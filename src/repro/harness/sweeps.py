@@ -22,7 +22,7 @@ from repro.harness.options import RunOptions
 from repro.harness.parallel import GridFailure, GridPoint, run_grid
 
 __all__ = ["SweepResult", "sweep_d_distance", "sweep_threads",
-           "sweep_gi_timeout"]
+           "sweep_gi_timeout", "sweep_protocols"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -149,3 +149,32 @@ def sweep_gi_timeout(workload: str,
         for t in timeouts
     ]
     return _sweep("gi_timeout", timeouts, points, jobs=jobs, options=options)
+
+
+def sweep_protocols(workload: str = "bad_dot_product",
+                    protocols: Sequence[str] | None = None,
+                    *, d_distance: int = 4,
+                    num_threads: int = DEFAULT_THREADS,
+                    scale: float = DEFAULT_SCALE, seed: int = 12345,
+                    jobs: int = 1, options: RunOptions | None = None,
+                    **kwargs) -> SweepResult:
+    """One run per registered protocol variant on the same workload.
+
+    Approximation-capable variants run at ``d_distance``; precise
+    variants run at ``d=0`` (their policy has no GS/GI to parameterize,
+    and ``d>0`` would re-enter the legacy base-protocol spelling).
+    """
+    from repro.coherence.policy import available_protocols, get_protocol
+
+    if protocols is None:
+        protocols = available_protocols()
+    points = [
+        GridPoint(workload,
+                  dict(d_distance=d_distance if get_protocol(p).approx else 0,
+                       num_threads=num_threads, scale=scale, seed=seed,
+                       protocol=p, **kwargs),
+                  label=f"protocol={p}")
+        for p in protocols
+    ]
+    return _sweep("protocol", tuple(protocols), points, jobs=jobs,
+                  options=options)

@@ -26,6 +26,8 @@ class ObsCapture:
 
     events: tuple[dict[str, Any], ...] = ()
     timeline: Timeline | None = None
+    #: registry name of the coherence protocol the traced run used
+    protocol: str = "ghostwriter"
 
     @classmethod
     def from_machine(cls, machine) -> "ObsCapture | None":
@@ -37,4 +39,5 @@ class ObsCapture:
         return cls(
             events=tuple(recorder.records()) if recorder is not None else (),
             timeline=sampler.result() if sampler is not None else None,
+            protocol=machine.cfg.protocol,
         )

@@ -118,7 +118,10 @@ def render_report(capture: ObsCapture, phases: int = 4) -> str:
         max(len(heads[p]), max(len(r[1][p]) for r in rows))
         for p in range(phases)
     ]
-    out = [f"per-phase breakdown over {span} cycles, {phases} phases"]
+    out = [
+        f"per-phase breakdown over {span} cycles, {phases} phases "
+        f"[protocol={capture.protocol}]"
+    ]
     out.append("  ".join(
         [" " * label_w, *(heads[p].rjust(col_ws[p]) for p in range(phases))]
     ))

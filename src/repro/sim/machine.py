@@ -51,6 +51,9 @@ class Machine:
 
     def __init__(self, cfg: SimConfig) -> None:
         self.cfg = cfg
+        # resolve the protocol policy exactly once (the legacy-spelling
+        # shim warns per resolution) and inject it into every controller
+        self.policy = cfg.policy
         self.engine = Engine()
         self.stats = StatGroup("")
         self.backing = BackingStore(cfg.block_bytes)
@@ -69,6 +72,7 @@ class Machine:
                 node, cfg, self.engine, self.network, self.l2_slices,
                 self.backing, self.dram,
                 self.stats.child("dir").child(f"d{node}"),
+                policy=self.policy,
             )
             for node in cfg.noc.directory_nodes
         }
@@ -76,6 +80,7 @@ class Machine:
             L1Controller(
                 node, cfg, self.engine, self.network,
                 self.stats.child("l1").child(f"c{node}"),
+                policy=self.policy,
             )
             for node in range(cfg.num_cores)
         ]

@@ -19,8 +19,10 @@ armed, then checks:
   memory; with Ghostwriter on, dropped scribbles legally resurface older
   values, so only provenance applies).
 
-:func:`run_matrix` sweeps seeds across {MESI, MOESI} x {Ghostwriter
-on/off}; :func:`minimize_trace` is a deterministic ddmin-style shrinker
+:func:`run_matrix` sweeps seeds across the registered protocol variants
+(precise bases plus every approximation-capable policy, each with the
+approximation switch honored); :func:`minimize_trace` is a
+deterministic ddmin-style shrinker
 for failing traces; :func:`load_corpus_trace`/:func:`save_corpus_trace`
 round-trip shrunk traces through ``tests/verify/corpus/`` for regression
 replay.  ``python -m repro.verify.fuzz --seeds 200`` runs the sweep from
@@ -46,10 +48,21 @@ __all__ = [
     "PROTOCOL_MATRIX",
 ]
 
-#: the four protocol configurations every trace is exercised under
+#: the protocol configurations every trace is exercised under: both
+#: precise bases, every approximation-capable registry variant, and one
+#: approximation-stripped variant (update-hybrid keeps its write-update
+#: mechanism even with approximation off)
 PROTOCOL_MATRIX: tuple[tuple[str, bool], ...] = (
-    ("mesi", False), ("mesi", True), ("moesi", False), ("moesi", True),
+    ("mesi", False), ("ghostwriter", True),
+    ("moesi", False), ("ghostwriter-moesi", True),
+    ("gw-gs-only", True), ("gw-gi-only", True),
+    ("self-invalidate", True),
+    ("update-hybrid", True), ("update-hybrid", False),
 )
+
+#: legacy (base, gw=True) spellings still accepted by :func:`run_trace`;
+#: translated here so old callers don't trip the config-layer shim
+_LEGACY_GW = {"mesi": "ghostwriter", "moesi": "ghostwriter-moesi"}
 
 _BASE = 0x8000
 _WORDS_PER_BLOCK = 16
@@ -169,6 +182,8 @@ def run_trace(trace: FuzzTrace, *, protocol: str = "mesi", gw: bool = True,
     label = (
         f"seed={trace.seed} protocol={protocol} gw={gw} jitter={jitter}"
     )
+    if gw:
+        protocol = _LEGACY_GW.get(protocol, protocol)
     cfg = small_config(
         num_cores=max(2, trace.num_cores), enabled=gw,
         d_distance=trace.d_distance, gi_timeout=256, core_quantum=1,
@@ -350,8 +365,8 @@ def main(argv: list[str] | None = None) -> int:
         description="Randomized Ghostwriter protocol fuzzer.",
     )
     p.add_argument("--seeds", type=int, default=200,
-                   help="number of seeded traces (each runs under "
-                        "{MESI, MOESI} x {+-Ghostwriter})")
+                   help="number of seeded traces (each runs under every "
+                        "PROTOCOL_MATRIX variant)")
     p.add_argument("--first-seed", type=int, default=0)
     p.add_argument("--ops", type=int, default=24, help="ops per core")
     p.add_argument("--cores", type=int, default=3)

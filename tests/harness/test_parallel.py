@@ -53,6 +53,25 @@ class TestDeterminism:
         assert serial.traffic == parallel.traffic
         assert serial.error_pct == parallel.error_pct
 
+    def test_every_protocol_bit_identical_across_jobs(self):
+        """Each registered protocol variant produces the same frozen
+        RunRow whether its grid point runs in-process or in a worker."""
+        from repro.coherence.policy import available_protocols, get_protocol
+
+        points = [
+            GridPoint("bad_dot_product",
+                      dict(protocol=p,
+                           d_distance=4 if get_protocol(p).approx else 0,
+                           **_POINT_KW),
+                      label=f"protocol={p}")
+            for p in available_protocols()
+        ]
+        serial = run_grid(points, jobs=1)
+        parallel = run_grid(points, jobs=2, chunk_size=1)
+        assert all(isinstance(r, RunRow) for r in serial)
+        assert [r.protocol for r in serial] == list(available_protocols())
+        assert serial == parallel
+
 
 # ---------------------------------------------------------------------
 # executor mechanics

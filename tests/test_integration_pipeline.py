@@ -83,9 +83,9 @@ def test_tune_then_verify_pipeline():
 
 
 def test_moesi_figure_pipeline():
-    """The sweep figures run end to end on the MOESI baseline."""
+    """The sweep figures run end to end on the MOESI-based variant."""
     cache = F.SweepCache(num_threads=THREADS, scale=0.1, seed=11,
-                         protocol="moesi")
+                         protocol="ghostwriter-moesi")
     f10 = F.fig10(cache)
     f11 = F.fig11(cache)
     for app in F.PAPER_WORKLOADS:

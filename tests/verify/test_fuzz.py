@@ -6,8 +6,8 @@ import pytest
 
 from repro.mem.backing import BackingStore
 from repro.verify.fuzz import (
-    FuzzFailure, FuzzTrace, approx_drops, generate_trace, load_corpus_trace,
-    minimize_trace, run_matrix, run_trace,
+    PROTOCOL_MATRIX, FuzzFailure, FuzzTrace, approx_drops, generate_trace,
+    load_corpus_trace, minimize_trace, run_matrix, run_trace,
 )
 
 CORPUS = Path(__file__).parent / "corpus"
@@ -34,18 +34,26 @@ class TestTrace:
 
 class TestMatrix:
     def test_200_runs_clean_within_budget(self):
-        """The acceptance gate: >= 200 seeded traces across the
-        {MESI, MOESI} x {+-Ghostwriter} matrix, zero violations, within
-        the CI time budget."""
+        """The acceptance gate: >= 200 runs across seeded traces and
+        every registered PROTOCOL_MATRIX variant, zero violations,
+        within the CI time budget."""
         t0 = time.time()
-        summary = run_matrix(range(60))
+        summary = run_matrix(range(30))
         elapsed = time.time() - t0
-        assert summary["runs"] == 240
+        assert summary["runs"] == 30 * len(PROTOCOL_MATRIX) >= 200
         assert elapsed < 60, f"fuzz matrix too slow: {elapsed:.1f}s"
+
+    def test_matrix_samples_every_registered_variant(self):
+        """The default matrix covers each precise base and every
+        approximation-capable registry variant."""
+        from repro.coherence.policy import available_protocols
+
+        sampled = {p for p, _gw in PROTOCOL_MATRIX}
+        assert sampled == set(available_protocols())
 
     def test_jitter_runs_clean(self):
         summary = run_matrix(range(5), jitter=3)
-        assert summary["runs"] == 20
+        assert summary["runs"] == 5 * len(PROTOCOL_MATRIX)
 
 
 class TestOracles:

@@ -8,9 +8,12 @@ the observability layer's costs (raw EventBus fan-out and a fully
 traced workload run, against the untraced run for the overhead ratio)
 and a protocol dimension (a pure L1 hit loop under the precise MESI
 policy vs the full Ghostwriter policy — the policy-indirection
-measurement — plus end-to-end runs of two registry variants) — and
-emits a machine-readable ``BENCH_perf.json`` so the performance
-trajectory is tracked from this PR on.
+measurement — plus end-to-end runs of two registry variants) and the
+compiled-program layer (``core_step_loop``: the columnar interpreter's
+fetch/dispatch loop; ``sweep_wall_clock``: a three-point sweep whose
+points share one cached op stream) — and emits a machine-readable
+``BENCH_perf.json`` so the performance trajectory is tracked from this
+PR on.
 
 Usage::
 
@@ -157,6 +160,48 @@ def bench_workload_false_sharing(n: int):
     return thunk, ops_box[0]
 
 
+def bench_core_step_loop(n: int):
+    """The compiled interpreter's fetch/dispatch loop: one core running a
+    pre-lowered all-load program cycling 16 words of a single resident
+    block (first load fills it, the rest are pure L1 hits)."""
+    from repro.common.config import small_config
+    from repro.isa.compiled import CompiledProgram
+    from repro.sim.machine import Machine
+
+    addrs = [0x1000 + (i % 16) * 4 for i in range(n)]
+    prog = CompiledProgram(
+        np.zeros(n, dtype=np.int8),           # OP_LOAD
+        np.asarray(addrs, dtype=np.int64),
+        np.zeros(n, dtype=np.int64),
+        np.zeros(n, dtype=np.int64),
+        validate_loads=False,
+    )
+    cfg = small_config(num_cores=1)
+
+    def thunk() -> None:
+        m = Machine(cfg)
+        m.add_thread(0, prog)
+        m.run()
+    return thunk, n
+
+
+def bench_sweep_wall_clock(n: int):
+    """A three-point GI-timeout sweep end to end — what the program
+    cache amortizes (every point re-uses one recorded op stream);
+    ops = total simulated cycles across the sweep."""
+    from repro.harness.sweeps import sweep_gi_timeout
+
+    ops_box = [1]
+
+    def thunk() -> None:
+        res = sweep_gi_timeout("bad_dot_product", timeouts=(256, 512, 1024),
+                               num_threads=4, seed=12345, n_points=n,
+                               max_value=7)
+        ops_box[0] = sum(row.cycles for row in res.rows)
+    thunk()  # warm once so the reported op count is the real cycle count
+    return thunk, ops_box[0]
+
+
 def _hit_loop_l1(protocol: str):
     """A live machine whose L1 0 holds one block in M, ready for a pure
     hit loop (the warm store miss is drained before timing starts)."""
@@ -266,6 +311,8 @@ BENCHMARKS: list[tuple[str, Callable, int, int]] = [
     ("stats_hot_counters", bench_stats_hot_counters, 100_000, 500),
     ("ddistance_array", bench_ddistance_array, 1_000_000, 1_000),
     ("workload_false_sharing", bench_workload_false_sharing, 1024, 96),
+    ("core_step_loop", bench_core_step_loop, 50_000, 500),
+    ("sweep_wall_clock", bench_sweep_wall_clock, 512, 64),
     ("event_bus_emit", bench_event_bus_emit, 200_000, 500),
     ("workload_obs_tracing", bench_workload_obs_tracing, 1024, 96),
     # protocol dimension: the policy-indirection pair (pure L1 hit loop,

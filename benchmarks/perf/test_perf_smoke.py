@@ -149,3 +149,58 @@ def test_validator_rejects_bad_reports(run_perf):
     ] + good["benchmarks"][1:])
     with pytest.raises(ValueError):
         run_perf.validate_report(negative_time)
+
+
+def test_compiled_benchmarks_present(run_perf, tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    assert run_perf.main(["--check-only", "--out", str(out)]) == 0
+    names = [row["name"] for row in
+             json.loads(out.read_text())["benchmarks"]]
+    assert "core_step_loop" in names
+    assert "sweep_wall_clock" in names
+
+
+@pytest.fixture(scope="module")
+def check_regression():
+    """The regression-guard module, loaded by path."""
+    path = Path(__file__).with_name("check_regression.py")
+    spec = importlib.util.spec_from_file_location("check_regression", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def _report(ops, mode="full"):
+    return {"mode": mode,
+            "benchmarks": [{"name": n, "ops_per_second": v}
+                           for n, v in ops.items()]}
+
+
+def test_regression_guard_flags_only_real_drops(check_regression):
+    base = _report({"core_step_loop": 100.0, "similarity_scalar": 100.0})
+    ok = check_regression.check(
+        _report({"core_step_loop": 80.0, "similarity_scalar": 200.0}), base)
+    assert ok == []
+    problems = check_regression.check(
+        _report({"core_step_loop": 60.0, "similarity_scalar": 200.0}), base)
+    assert len(problems) == 1 and "core_step_loop" in problems[0]
+
+
+def test_regression_guard_skips_unknown_and_rejects_check_mode(
+        check_regression):
+    base = _report({"core_step_loop": 100.0})
+    # benches absent from either side are the schema validator's job
+    assert check_regression.check(_report({}), base) == []
+    with pytest.raises(SystemExit):
+        check_regression.check(_report({}, mode="check"), base)
+
+
+def test_regression_guard_gates_committed_baseline(check_regression):
+    """Every key bench the guard gates on exists in the committed
+    BENCH_perf.json (a rename would otherwise silently disable it)."""
+    committed = json.loads(
+        (Path(__file__).resolve().parents[2] / "BENCH_perf.json")
+        .read_text())
+    names = {row["name"] for row in committed["benchmarks"]}
+    missing = set(check_regression.KEY_BENCHES) - names
+    assert not missing, f"key benches missing from baseline: {missing}"

@@ -105,6 +105,7 @@ class L1Controller:
         self._gi_timer_armed = False
         self._block_bytes = cfg.block_bytes
         self._word_shift = 2  # 4-byte words
+        self._off_mask = cfg.block_bytes - 1  # block size is power-of-two
         # hot-path bindings: the access path runs once per simulated
         # memory reference, so its counters are bumped through the live
         # counter dict (one item access each) rather than StatGroup's
@@ -135,10 +136,10 @@ class L1Controller:
     # helpers
     # ------------------------------------------------------------------
     def _block_base(self, addr: int) -> int:
-        return addr - (addr % self._block_bytes)
+        return addr & ~self._off_mask
 
     def _word_off(self, addr: int) -> int:
-        return (addr % self._block_bytes) >> self._word_shift
+        return (addr & self._off_mask) >> self._word_shift
 
     def _set_state(self, line: CacheLine, new: CoherenceState, why: str) -> None:
         old = line.state
@@ -188,7 +189,7 @@ class L1Controller:
         relies on.
         """
         bus = self.bus
-        if bus is None:
+        if bus is None or not bus.wants(EventKind.ACCESS):
             return self._access(atype, addr, value, on_done)
         hit, val = self._access(atype, addr, value, on_done)
         bus.emit(Event(

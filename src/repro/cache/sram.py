@@ -104,20 +104,37 @@ class _PlruTree:
 class CacheArray:
     """The tag/data RAM of one cache: sets x ways of :class:`CacheLine`."""
 
-    __slots__ = ("cfg", "_sets", "_plru")
+    __slots__ = ("cfg", "_sets", "_plru", "_blk_shift", "_set_mask")
 
     def __init__(self, cfg: CacheConfig) -> None:
         self.cfg = cfg
-        self._sets = [
-            [CacheLine() for _ in range(cfg.assoc)] for _ in range(cfg.num_sets)
-        ]
-        self._plru = [_PlruTree(cfg.assoc) for _ in range(cfg.num_sets)]
+        # geometry is power-of-two by construction (CacheConfig), so the
+        # hot set_index is one shift + one mask; rows materialize lazily
+        # — a run touching a fraction of a large L2 never allocates the
+        # rest
+        self._blk_shift = cfg.block_bytes.bit_length() - 1
+        self._set_mask = cfg.num_sets - 1
+        self._sets: list[list[CacheLine] | None] = [None] * cfg.num_sets
+        self._plru: list[_PlruTree | None] = [None] * cfg.num_sets
+
+    def _ways(self, idx: int) -> list[CacheLine]:
+        """Fetch-or-materialize one set's ways (and its PLRU tree)."""
+        ways = self._sets[idx]
+        if ways is None:
+            assoc = self.cfg.assoc
+            ways = [CacheLine() for _ in range(assoc)]
+            self._sets[idx] = ways
+            self._plru[idx] = _PlruTree(assoc)
+        return ways
 
     # -- lookup ---------------------------------------------------------
     def lookup(self, block_addr: int, touch: bool = True) -> CacheLine | None:
         """The line holding ``block_addr``, or None on tag miss."""
-        idx = self.cfg.set_index(block_addr)
-        for way, line in enumerate(self._sets[idx]):
+        idx = (block_addr >> self._blk_shift) & self._set_mask
+        ways = self._sets[idx]
+        if ways is None:
+            return None
+        for way, line in enumerate(ways):
             if line.tag == block_addr:
                 if touch:
                     self._plru[idx].touch(way)
@@ -137,8 +154,8 @@ class CacheArray:
         must handle the victim's current contents (writeback etc.) and then
         install the new tag.  Returns None when the set is fully pinned.
         """
-        idx = self.cfg.set_index(block_addr)
-        ways = self._sets[idx]
+        idx = (block_addr >> self._blk_shift) & self._set_mask
+        ways = self._ways(idx)
         for line in ways:
             if not line.valid and not line.pinned:
                 return line
@@ -149,8 +166,8 @@ class CacheArray:
 
     def install(self, line: CacheLine, block_addr: int) -> None:
         """Claim a line for a new tag and mark it most-recently-used."""
-        idx = self.cfg.set_index(block_addr)
-        ways = self._sets[idx]
+        idx = (block_addr >> self._blk_shift) & self._set_mask
+        ways = self._ways(idx)
         if line not in ways:
             raise ValueError("line does not belong to the target set")
         line.tag = block_addr
@@ -158,9 +175,15 @@ class CacheArray:
 
     # -- iteration / introspection ------------------------------------
     def iter_lines(self) -> Iterator[CacheLine]:
-        """Every line of every set, in set-major order."""
+        """Every materialized line, in set-major order.
+
+        Unmaterialized sets hold no tags by definition, so skipping them
+        is observationally identical to iterating empty lines for any
+        caller that filters on validity/state.
+        """
         for ways in self._sets:
-            yield from ways
+            if ways is not None:
+                yield from ways
 
     def iter_valid(self) -> Iterator[CacheLine]:
         """Every line currently holding a tag."""
@@ -170,7 +193,7 @@ class CacheArray:
 
     def set_of(self, block_addr: int) -> list[CacheLine]:
         """The ways of the set this block maps to."""
-        return self._sets[self.cfg.set_index(block_addr)]
+        return self._ways((block_addr >> self._blk_shift) & self._set_mask)
 
     def occupancy(self) -> int:
         """Number of valid lines in the array."""

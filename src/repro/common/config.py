@@ -351,6 +351,12 @@ class SimConfig:
     #: invalidations, *understating* contention on heavily false-shared
     #: blocks (measurably so on Fig. 1/Fig. 10).
     core_quantum: int = 1
+    #: Execute thread programs through the compiled-program layer
+    #: (record-once columnar op streams + the sweep-wide program cache,
+    #: see repro.isa.compiled).  Results are bit-identical either way —
+    #: the knob exists for the equivalence suite and for debugging with
+    #: the plain generator interpreter.
+    compile_programs: bool = True
 
     def __post_init__(self) -> None:
         if self.num_cores < 1:

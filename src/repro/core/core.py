@@ -1,13 +1,29 @@
 """In-order core model.
 
-A core drives one thread program (a generator of ISA ops) against its
-private L1.  Hits and compute are executed in batches of up to
-``core_quantum`` L1-hit-equivalents without touching the event queue (the
-dominant simulator-performance optimization — see the HPC guide's
-"measure, then remove the bottleneck"); any miss, sync op, or exhausted
-quantum yields back to the scheduler.  The resulting event-order skew is
-bounded by the quantum (default 8 ops = 16 cycles) and is configurable
-down to 1 for strictly ordered runs.
+A core drives one thread program against its private L1.  A program
+arrives in one of three forms (see :mod:`repro.isa.compiled`):
+
+* a plain generator of ISA ops — the legacy path, executed through a
+  ``send``/``next`` round-trip and ``type(op)`` dispatch per op;
+* a :class:`~repro.isa.compiled.ProgramSpec` — a generator factory plus
+  a program-cache slot.  On a cache miss the generator runs with a
+  :class:`~repro.isa.compiled.ProgramRecorder` tee that lowers the
+  retired op stream to columnar arrays; on a hit the core executes the
+  arrays directly (no generator, no op objects) and validates every
+  executed load value against the recording, *deoptimizing* back to a
+  resynchronized generator on the first mismatch;
+* a :class:`~repro.isa.compiled.CompiledProgram` — pre-lowered arrays
+  (trace replay), executed directly with validation off.
+
+Hits and compute are executed in batches of up to ``core_quantum``
+L1-hit-equivalents without touching the event queue (the dominant
+simulator-performance optimization — see the HPC guide's "measure, then
+remove the bottleneck"); any miss, sync op, or exhausted quantum yields
+back to the scheduler.  The resulting event-order skew is bounded by the
+quantum and is configurable down to 1 for strictly ordered runs.  The
+compiled fast loop preserves the generator path's budget accounting,
+stat updates and ``engine.schedule`` pattern op for op, so the two modes
+produce bit-identical simulations (pinned by the equivalence suite).
 """
 from __future__ import annotations
 
@@ -18,6 +34,10 @@ from repro.common.stats import StatGroup
 from repro.common.types import AccessType
 from repro.isa.approx import ApproxManager
 from repro.isa import instructions as isa
+from repro.isa.compiled import (
+    CompiledProgram, ProgramRecorder, ProgramSpec, replay_to_completion,
+    resync_generator,
+)
 from repro.sim.engine import Engine
 
 __all__ = ["Core", "ThreadProgram"]
@@ -26,6 +46,10 @@ __all__ = ["Core", "ThreadProgram"]
 ThreadProgram = Generator["isa.Op", "int | None", None]
 
 _PRAGMA_COST = 1  # cycles charged for setaprx/endaprx/region pragmas
+
+_LOAD = AccessType.LOAD
+_STORE = AccessType.STORE
+_SCRIBBLE = AccessType.SCRIBBLE
 
 
 class Core:
@@ -36,14 +60,14 @@ class Core:
         cid: int,
         engine: Engine,
         l1: L1Controller,
-        program: Iterator,
+        program: "Iterator | ProgramSpec | CompiledProgram",
         stats: StatGroup,
         quantum: int = 8,
+        sync_tables: tuple[list, list] | None = None,
     ) -> None:
         self.cid = cid
         self.engine = engine
         self.l1 = l1
-        self.program = program
         self.stats = stats
         self.quantum_cycles = max(1, quantum) * l1.cfg.l1.hit_latency
         self.approx = ApproxManager()
@@ -55,6 +79,73 @@ class Core:
         #: description of the op this core is currently blocked on
         #: (None while running) — read by the watchdog's diagnostic dump
         self.blocked_op: str | None = None
+        # hot counters are bumped through the live counter dict (one item
+        # access each) rather than StatGroup's attribute protocol; both
+        # spell the same underlying values
+        self._c = stats.counters(
+            "mem_ops", "compute_cycles", "barrier_waits", "quantum_yields",
+            "stall_cycles",
+        )
+        self._sync_tables = sync_tables
+        # program-form resolution (see module docstring)
+        self.program: Iterator | None = None
+        self._compiled: CompiledProgram | None = None
+        self._recorder: ProgramRecorder | None = None
+        self._spec_factory = None
+        self._spec_cache = None
+        self._spec_key = None
+        self._cpc = 0                 # compiled-mode program counter
+        self._awaiting_load = False   # compiled load miss outstanding
+        self._needs_replay = False    # side-effect replay due at finish
+        self._ops: list[int] = []
+        self._addrs: list[int] = []
+        self._vals: list[int] = []
+        self._cycs: list[int] = []
+        self._objs: dict[int, object] = {}
+        if isinstance(program, CompiledProgram):
+            self._bind_compiled(program)
+        elif isinstance(program, ProgramSpec):
+            self._spec_factory = program.factory
+            cached = None
+            if program.cache is not None and program.key is not None:
+                self._spec_cache = program.cache
+                self._spec_key = program.key
+                cached = program.cache.get(program.key)
+            if cached is not None and self._bind_compiled(cached):
+                self._needs_replay = True
+            else:
+                self.program = program.factory()
+                if self._spec_cache is not None:
+                    self._recorder = ProgramRecorder(sync_tables)
+        else:
+            self.program = program
+
+    def _bind_compiled(self, prog: CompiledProgram) -> bool:
+        """Adopt a compiled program; False if its sync handles don't
+        resolve against this machine (caller falls back to the factory).
+        Sync resolution is re-run at :meth:`start` because workloads may
+        create barriers after binding threads."""
+        self._compiled = prog
+        self._ops, self._addrs, self._vals, self._cycs = prog.lists()
+        return self._resolve_objs()
+
+    def _resolve_objs(self) -> bool:
+        prog = self._compiled
+        if prog is None or not prog.objs:
+            return True
+        if self._sync_tables is None:
+            self._compiled = None
+            return False
+        barriers, locks = self._sync_tables
+        objs: dict[int, object] = {}
+        for pc, (kind, idx) in prog.objs.items():
+            table = barriers if kind == "barrier" else locks
+            if kind not in ("barrier", "lock") or idx >= len(table):
+                self._compiled = None
+                return False
+            objs[pc] = table[idx]
+        self._objs = objs
+        return True
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -62,14 +153,60 @@ class Core:
         if self._started:
             raise RuntimeError(f"core {self.cid} already started")
         self._started = True
+        if self._compiled is not None and not self._resolve_objs():
+            # sync tables changed shape since binding: run the generator
+            if self._spec_factory is None:
+                raise RuntimeError(
+                    f"core {self.cid}: compiled program references sync "
+                    "objects this machine does not have"
+                )
+            self._needs_replay = False
+            self.program = self._spec_factory()
         self.engine.schedule(0, self._step)
 
     def _resume_with(self, value: int | None) -> None:
         """Continuation for miss completion / sync wakeup."""
-        self.stats.stall_cycles += self.engine.now - self._blocked_since
+        self._c["stall_cycles"] += self.engine.now - self._blocked_since
         self.blocked_op = None
         self._pending_send = value
         self._step()
+
+    def _wake(self) -> None:
+        self._resume_with(None)
+
+    # ------------------------------------------------------------------
+    def _deoptimize(self, actual: int) -> None:
+        """A validated load diverged from the recording: resynchronize a
+        fresh generator through the compiled prefix and continue there.
+
+        Every op before ``_cpc`` executed with a load value equal to the
+        recording, so the value-driven prefix replay follows the same
+        path (and re-executes the program's Python side effects for the
+        prefix); the divergent load's actual value is delivered to the
+        live generator by the caller's next ``send``.
+        """
+        gen = resync_generator(self._spec_factory, self._compiled,
+                               self._cpc + 1)
+        self.program = gen
+        self._compiled = None
+        self._needs_replay = False
+        self._pending_send = actual
+
+    def _finish(self, elapsed: int) -> None:
+        self.done = True
+        self.finish_cycle = self.engine.now + elapsed
+        self.stats.finish_cycle = self.finish_cycle
+        if self._needs_replay:
+            # the run never touched the program's Python body: replay it
+            # once, fed with the validated value column, so result
+            # collection happens in this workload instance
+            self._needs_replay = False
+            replay_to_completion(self._spec_factory, self._compiled)
+        rec = self._recorder
+        if rec is not None:
+            self._recorder = None
+            if rec.cacheable:
+                self._spec_cache.put(self._spec_key, rec.finalize())
 
     # ------------------------------------------------------------------
     def _step(self) -> None:
@@ -79,93 +216,230 @@ class Core:
         budget = self.quantum_cycles
         elapsed = 0
         hit_latency = self.l1.cfg.l1.hit_latency
-        program = self.program
-        st = self.stats
+        st = self._c
+        engine = self.engine
+        access = self.l1.access
 
+        if self._compiled is not None:
+            # -- compiled fast loop: no generator, no op objects --------
+            ops = self._ops
+            addrs = self._addrs
+            vals = self._vals
+            cycs = self._cycs
+            objs = self._objs
+            n = len(ops)
+            pc = self._cpc
+            validate = self._compiled.validate_loads
+            l1 = self.l1
+            resume = self._resume_with
+            while elapsed < budget:
+                if self._awaiting_load:
+                    # a missed load retired; the delivered value must
+                    # match the recording (deopt trigger)
+                    self._awaiting_load = False
+                    value, self._pending_send = self._pending_send, None
+                    if validate and value != vals[pc]:
+                        self._deoptimize(value)
+                        break
+                    pc += 1
+                if pc == n:
+                    self._cpc = pc
+                    self._finish(elapsed)
+                    return
+                opc = ops[pc]
+                if opc == 0:  # LOAD
+                    st["mem_ops"] += 1
+                    hit, val = access(_LOAD, addrs[pc], None, resume)
+                    if hit:
+                        elapsed += hit_latency
+                        if validate and val != vals[pc]:
+                            self._cpc = pc
+                            self._deoptimize(val)
+                            break
+                        pc += 1
+                        continue
+                    self._cpc = pc
+                    self._awaiting_load = True
+                    self._blocked_since = engine.now
+                    self.blocked_op = f"LOAD {addrs[pc]:#x}"
+                    return
+                if opc == 1 or opc == 2:  # STORE / SCRIBBLE (pre-resolved)
+                    st["mem_ops"] += 1
+                    atype = _STORE if opc == 1 else _SCRIBBLE
+                    hit, _ = access(atype, addrs[pc], vals[pc], resume)
+                    if hit:
+                        elapsed += hit_latency
+                        pc += 1
+                        continue
+                    self._blocked_since = engine.now
+                    self.blocked_op = (
+                        f"{atype.value.upper()} {addrs[pc]:#x} = "
+                        f"{vals[pc]:#x}"
+                    )
+                    self._cpc = pc + 1  # resume past the store
+                    return
+                if opc == 3:  # COMPUTE
+                    st["compute_cycles"] += cycs[pc]
+                    elapsed += cycs[pc]
+                    pc += 1
+                    continue
+                if opc == 4:  # BARRIER
+                    self._blocked_since = engine.now
+                    self.blocked_op = "BARRIER_WAIT"
+                    self._cpc = pc + 1
+                    objs[pc].arrive(self._wake)
+                    st["barrier_waits"] += 1
+                    return
+                if opc == 5:  # ACQUIRE
+                    self._blocked_since = engine.now
+                    self.blocked_op = "ACQUIRE"
+                    self._cpc = pc + 1
+                    objs[pc].acquire(self.cid, self._wake)
+                    return
+                if opc == 6:  # RELEASE
+                    objs[pc].release(self.cid)
+                    elapsed += _PRAGMA_COST
+                    pc += 1
+                    continue
+                if opc == 7:  # SETAPRX
+                    l1.set_approx(cycs[pc])
+                    elapsed += _PRAGMA_COST
+                    pc += 1
+                    continue
+                if opc == 8:  # ENDAPRX
+                    l1.end_approx()
+                    elapsed += _PRAGMA_COST
+                    pc += 1
+                    continue
+                if opc == 9:  # APPROX_BEGIN
+                    self.approx.begin(self._compiled.ranges[pc])
+                    elapsed += _PRAGMA_COST
+                    pc += 1
+                    continue
+                if opc == 10:  # APPROX_END
+                    self.approx.end(self._compiled.ranges[pc])
+                    elapsed += _PRAGMA_COST
+                    pc += 1
+                    continue
+                if opc == 11:  # FLUSH
+                    l1.flush_approx()
+                    elapsed += _PRAGMA_COST
+                    pc += 1
+                    continue
+                raise TypeError(f"compiled program holds opcode {opc}")
+            if self._compiled is not None:
+                # quantum exhausted (a deopt breaks with _compiled None
+                # and falls through to the generator loop below)
+                self._cpc = pc
+                st["quantum_yields"] += 1
+                engine.schedule(elapsed, self._step)
+                return
+
+        program = self.program
+        rec = self._recorder
         while elapsed < budget:
             try:
                 if self._pending_send is not None:
                     value, self._pending_send = self._pending_send, None
+                    if rec is not None:
+                        # loads are the only ops that receive a value
+                        rec.patch_load(value)
                     op = program.send(value)
                 else:
                     op = next(program)
             except StopIteration:
-                self.done = True
-                self.finish_cycle = self.engine.now + elapsed
-                st.finish_cycle = self.finish_cycle
+                self._finish(elapsed)
                 return
 
             cls = type(op)
             if cls is isa.Load:
-                st.mem_ops += 1
-                hit, val = self.l1.access(
-                    AccessType.LOAD, op.addr, None, self._resume_with
-                )
+                st["mem_ops"] += 1
+                if rec is not None:
+                    rec.record_load(op.addr)
+                hit, val = access(_LOAD, op.addr, None, self._resume_with)
                 if hit:
                     elapsed += hit_latency
                     self._pending_send = val
                     continue
-                self._blocked_since = self.engine.now
+                self._blocked_since = engine.now
                 self.blocked_op = f"LOAD {op.addr:#x}"
                 return
             if cls is isa.Store or cls is isa.Scribble:
-                st.mem_ops += 1
-                atype = AccessType.SCRIBBLE if (
+                st["mem_ops"] += 1
+                atype = _SCRIBBLE if (
                     cls is isa.Scribble or self.approx.is_approx(op.addr)
-                ) else AccessType.STORE
-                hit, _ = self.l1.access(
-                    atype, op.addr, op.value, self._resume_with
-                )
+                ) else _STORE
+                if rec is not None:
+                    rec.record(1 if atype is _STORE else 2, op.addr, op.value)
+                hit, _ = access(atype, op.addr, op.value, self._resume_with)
                 if hit:
                     elapsed += hit_latency
                     # stores produce no value; send(None) ~ next()
                     continue
-                self._blocked_since = self.engine.now
+                self._blocked_since = engine.now
                 self.blocked_op = (
                     f"{atype.value.upper()} {op.addr:#x} = {op.value:#x}"
                 )
                 return
             if cls is isa.Compute:
-                st.compute_cycles += op.cycles
+                st["compute_cycles"] += op.cycles
                 elapsed += op.cycles
+                if rec is not None:
+                    rec.record(3, 0, 0, op.cycles)
                 continue
             if cls is isa.BarrierWait:
-                self._blocked_since = self.engine.now
+                self._blocked_since = engine.now
                 self.blocked_op = "BARRIER_WAIT"
+                if rec is not None:
+                    rec.record_sync(4, op.barrier)
                 op.barrier.arrive(lambda: self._resume_with(None))
-                st.barrier_waits += 1
+                st["barrier_waits"] += 1
                 return
             if cls is isa.Acquire:
-                self._blocked_since = self.engine.now
+                self._blocked_since = engine.now
                 self.blocked_op = "ACQUIRE"
+                if rec is not None:
+                    rec.record_sync(5, op.lock)
                 op.lock.acquire(self.cid, lambda: self._resume_with(None))
                 return
             if cls is isa.Release:
                 op.lock.release(self.cid)
                 elapsed += _PRAGMA_COST
+                if rec is not None:
+                    rec.record_sync(6, op.lock)
                 continue
             if cls is isa.SetAprx:
                 self.l1.set_approx(op.d_distance)
                 elapsed += _PRAGMA_COST
+                if rec is not None:
+                    rec.record(7, 0, 0, op.d_distance)
                 continue
             if cls is isa.EndAprx:
                 self.l1.end_approx()
                 elapsed += _PRAGMA_COST
+                if rec is not None:
+                    rec.record(8)
                 continue
             if cls is isa.ApproxBegin:
                 self.approx.begin(op.ranges)
                 elapsed += _PRAGMA_COST
+                if rec is not None:
+                    rec.record_ranges(9, op.ranges)
                 continue
             if cls is isa.ApproxEnd:
                 self.approx.end(op.ranges)
                 elapsed += _PRAGMA_COST
+                if rec is not None:
+                    rec.record_ranges(10, op.ranges)
                 continue
             if cls is isa.FlushApprox:
                 self.l1.flush_approx()
                 elapsed += _PRAGMA_COST
+                if rec is not None:
+                    rec.record(11)
                 continue
             raise TypeError(f"thread program yielded {op!r}")
 
         # quantum exhausted: let other events interleave
-        st.quantum_yields += 1
-        self.engine.schedule(elapsed, self._step)
+        st["quantum_yields"] += 1
+        engine.schedule(elapsed, self._step)

@@ -75,6 +75,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", metavar="DIR", default=None,
                    help="write the merged events.jsonl / timeline.npz / "
                         "report.txt bundle of the traced sweep under DIR")
+    p.add_argument("--profile", type=int, default=0, metavar="N",
+                   help="run under cProfile and print the top-N functions "
+                        "by cumulative time after the figures finish "
+                        "(0 = off)")
     return p
 
 
@@ -89,6 +93,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.timeline_interval < 0:
         parser.error(f"--timeline-interval must be >= 0, "
                      f"got {args.timeline_interval}")
+    if args.profile < 0:
+        parser.error(f"--profile must be >= 0, got {args.profile}")
     if args.trace_out is not None and not (args.trace_events
                                            or args.timeline_interval):
         parser.error("--trace-out needs --trace-events and/or "
@@ -114,6 +120,37 @@ def main(argv: list[str] | None = None) -> int:
         cache.prefetch(ds=ds)
         print(f"[sweep prefetch x{args.jobs} jobs: "
               f"{time.time() - t0:.1f}s]\n")
+    if args.profile:
+        # profile exactly the figure work (not argument parsing or the
+        # export tail) so hot-path hunts don't need ad-hoc scripts
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            crashed = _run_figures(wanted, args, cache)
+        finally:
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(args.profile)
+    else:
+        crashed = _run_figures(wanted, args, cache)
+    if args.trace_out is not None:
+        from repro.harness.export import export_captures
+        labeled = [(f"{app}.d{d}", row.obs)
+                   for (app, d), row in sorted(cache.rows().items())
+                   if row.obs is not None]
+        if labeled:
+            paths = export_captures(labeled, args.trace_out)
+            print(f"[trace: {', '.join(str(p) for p in paths)}]")
+        else:
+            print("[trace: no traced sweep runs to export]")
+    return 1 if crashed else 0
+
+
+def _run_figures(wanted, args, cache) -> int:
+    """Run each requested figure; returns the crashed-figure count."""
     crashed = 0
     for name in wanted:
         t0 = time.time()
@@ -137,17 +174,7 @@ def main(argv: list[str] | None = None) -> int:
             paths = export_result(name, result, args.out)
             print(f"[exported {', '.join(str(p) for p in paths)}]")
         print(f"[{name}: {time.time() - t0:.1f}s]\n")
-    if args.trace_out is not None:
-        from repro.harness.export import export_captures
-        labeled = [(f"{app}.d{d}", row.obs)
-                   for (app, d), row in sorted(cache.rows().items())
-                   if row.obs is not None]
-        if labeled:
-            paths = export_captures(labeled, args.trace_out)
-            print(f"[trace: {', '.join(str(p) for p in paths)}]")
-        else:
-            print("[trace: no traced sweep runs to export]")
-    return 1 if crashed else 0
+    return crashed
 
 
 def _run_figure(name, args, cache):

@@ -28,7 +28,8 @@ class Network:
     """Routes :class:`Message` objects between registered endpoints."""
 
     __slots__ = ("cfg", "engine", "stats", "block_bytes", "_endpoints",
-                 "_class_counts", "_in_flight", "fault_hook", "bus")
+                 "_class_counts", "_in_flight", "fault_hook", "bus",
+                 "_c", "_route_memo")
 
     def __init__(self, cfg: NocConfig, engine: Engine, block_bytes: int,
                  stats: StatGroup | None = None) -> None:
@@ -39,6 +40,15 @@ class Network:
         self._endpoints: dict[int, Callable[[Message], None]] = {}
         # eagerly materialize the Fig. 8 class counters
         self._class_counts = {klass: 0 for klass in MessageClass}
+        self._c = self.stats.counters(
+            "messages", "flits", "flit_hops", "router_traversals",
+            "payload_bytes",
+        )
+        # (src, dst, payload) -> (latency, flits, flit_hops, traversals):
+        # the route terms are pure functions of the mesh geometry, and a
+        # run sees only a handful of distinct (endpoints, payload) pairs
+        self._route_memo: dict[tuple[int, int, int],
+                               tuple[int, int, int, int]] = {}
         #: messages sent but not yet delivered (id -> message); lets the
         #: invariant monitor skip blocks with traffic in flight and the
         #: watchdog dump what is stuck on the wire
@@ -68,8 +78,8 @@ class Network:
         if handler is None:
             raise ValueError(f"no endpoint registered at node {msg.dst}")
         payload = msg.payload_bytes(self.block_bytes, self.cfg.control_msg_bytes)
-        latency = self.cfg.message_latency(msg.src, msg.dst, payload)
-        self._account(msg, payload)
+        latency = self._entry(msg.src, msg.dst, payload,
+                              msg.mtype.klass)
         bus = self.bus
         if bus is not None:
             bus.emit(Event(
@@ -99,29 +109,31 @@ class Network:
             if data
             else self.cfg.control_msg_bytes
         )
-        self._class_counts[klass] += 1
-        flits = self.cfg.flits(payload)
-        links = self.cfg.hops(src, dst)
-        st = self.stats
-        st.messages += 1
-        st.flits += flits
-        st.flit_hops += flits * links
-        st.router_traversals += flits * route_routers(self.cfg, src, dst)
-        st.payload_bytes += payload
-        return self.cfg.message_latency(src, dst, payload)
+        return self._entry(src, dst, payload, klass)
 
-    def _account(self, msg: Message, payload: int) -> None:
-        klass = msg.mtype.klass
+    def _entry(self, src: int, dst: int, payload: int,
+               klass: MessageClass) -> int:
+        """Account one transfer and return its latency (memoized route)."""
+        key = (src, dst, payload)
+        ent = self._route_memo.get(key)
+        if ent is None:
+            cfg = self.cfg
+            flits = cfg.flits(payload)
+            ent = (
+                cfg.message_latency(src, dst, payload),
+                flits,
+                flits * cfg.hops(src, dst),
+                flits * route_routers(cfg, src, dst),
+            )
+            self._route_memo[key] = ent
         self._class_counts[klass] += 1
-        flits = self.cfg.flits(payload)
-        routers = route_routers(self.cfg, msg.src, msg.dst)
-        links = self.cfg.hops(msg.src, msg.dst)
-        st = self.stats
-        st.messages += 1
-        st.flits += flits
-        st.flit_hops += flits * links
-        st.router_traversals += flits * routers
-        st.payload_bytes += payload
+        c = self._c
+        c["messages"] += 1
+        c["flits"] += ent[1]
+        c["flit_hops"] += ent[2]
+        c["router_traversals"] += ent[3]
+        c["payload_bytes"] += payload
+        return ent[0]
 
     # -- introspection -----------------------------------------------------
     def in_flight(self) -> list[Message]:

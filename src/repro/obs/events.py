@@ -23,7 +23,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 __all__ = ["EventKind", "Event", "EventBus", "EventRecorder",
            "FlightRecorder"]
@@ -91,37 +91,73 @@ class Event:
 
 
 class EventBus:
-    """Fan-out of :class:`Event` objects to subscriber callables."""
+    """Fan-out of :class:`Event` objects to subscriber callables.
 
-    __slots__ = ("_subscribers", "events_emitted")
+    Subscribers may restrict themselves to a set of :class:`EventKind`
+    values; emitters on allocation-sensitive paths ask :meth:`wants`
+    before even *constructing* an Event, so a machine tracing only state
+    transitions never pays per-access Event allocation (the
+    ``workload_obs_tracing`` vs ``workload_false_sharing`` gap in
+    ``BENCH_perf.json``).
+    """
+
+    __slots__ = ("_subscribers", "events_emitted", "_wants_all",
+                 "_wanted_kinds")
 
     def __init__(self) -> None:
-        self._subscribers: list[Callable[[Event], None]] = []
+        #: (callback, kinds) pairs; kinds None = every kind
+        self._subscribers: list[
+            tuple[Callable[[Event], None], frozenset[EventKind] | None]
+        ] = []
         self.events_emitted = 0
+        self._wants_all = False
+        self._wanted_kinds: frozenset[EventKind] = frozenset()
 
-    def subscribe(self, fn: Callable[[Event], None]) -> None:
-        """Add a subscriber (called synchronously on every emit)."""
-        if fn in self._subscribers:
+    def _recompute_wants(self) -> None:
+        self._wants_all = any(kinds is None for _, kinds in self._subscribers)
+        self._wanted_kinds = frozenset().union(
+            *(kinds for _, kinds in self._subscribers if kinds is not None)
+        )
+
+    def subscribe(self, fn: Callable[[Event], None],
+                  kinds: Iterable[EventKind] | None = None) -> None:
+        """Add a subscriber (called synchronously on every emit).
+
+        ``kinds`` restricts delivery (and, through :meth:`wants`, event
+        construction) to the given event kinds; None subscribes to all.
+        """
+        # == not `is`: bound methods are recreated per attribute access
+        if any(f == fn for f, _ in self._subscribers):
             raise ValueError("subscriber already registered")
-        self._subscribers.append(fn)
+        self._subscribers.append(
+            (fn, None if kinds is None else frozenset(kinds))
+        )
+        self._recompute_wants()
 
     def unsubscribe(self, fn: Callable[[Event], None]) -> None:
         """Remove a subscriber; a no-op if it is not registered."""
-        try:
-            self._subscribers.remove(fn)
-        except ValueError:
-            pass
+        self._subscribers = [
+            (f, kinds) for f, kinds in self._subscribers if f != fn
+        ]
+        self._recompute_wants()
 
     @property
     def subscriber_count(self) -> int:
         """Number of registered subscribers."""
         return len(self._subscribers)
 
+    def wants(self, kind: EventKind) -> bool:
+        """True when at least one subscriber receives this kind."""
+        return self._wants_all or kind in self._wanted_kinds
+
     def emit(self, event: Event) -> None:
-        """Deliver one event to every subscriber, in subscription order."""
+        """Deliver one event to each interested subscriber, in
+        subscription order."""
         self.events_emitted += 1
-        for fn in self._subscribers:
-            fn(event)
+        kind = event.kind
+        for fn, kinds in self._subscribers:
+            if kinds is None or kind in kinds:
+                fn(event)
 
 
 class EventRecorder:

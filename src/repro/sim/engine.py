@@ -121,21 +121,40 @@ class Engine:
                 msg += f"\n(timeout hook failed: {exc!r})"
         return msg
 
-    def run_until(self, cycle: int) -> int:
+    def run_until(self, cycle: int, max_events: int | None = None) -> int:
         """Execute events up to and including ``cycle``; later events stay
-        queued.  Useful for stepping tests through protocol epochs."""
+        queued.  Useful for stepping tests through protocol epochs.
+
+        Dispatches with the same same-cycle batching as :meth:`run` and
+        shares its diagnostics: ``max_events`` bounds the number of
+        events executed by *this call*, raising :class:`SimulationTimeout`
+        through :meth:`_timeout_message` (including any installed
+        ``timeout_hook`` context) when exceeded — insurance against a
+        zero-delay self-rescheduling loop that would otherwise spin
+        forever inside one cycle.
+        """
         if self._running:
             raise SimulationError("Engine.run_until() is not re-entrant")
         self._running = True
+        executed = self.events_executed
+        budget = None if max_events is None else executed + max_events
         try:
             queue = self._queue
+            pop = heapq.heappop
             while queue and queue[0][0] <= cycle:
-                evc, _seq, callback = heapq.heappop(queue)
+                evc = queue[0][0]
                 self.now = evc
-                self.events_executed += 1
-                callback()
+                while queue and queue[0][0] == evc:
+                    executed += 1
+                    if budget is not None and executed > budget:
+                        self.events_executed = executed
+                        raise SimulationTimeout(self._timeout_message(
+                            f"run_until exceeded {max_events} events"
+                        ))
+                    pop(queue)[2]()
             if self.now < cycle:
                 self.now = cycle
         finally:
+            self.events_executed = executed
             self._running = False
         return self.now

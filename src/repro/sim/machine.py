@@ -24,6 +24,7 @@ from repro.common.stats import StatGroup
 from repro.common.types import MessageType
 from repro.core.core import Core
 from repro.core.sync import Barrier, Lock
+from repro.isa.compiled import CompiledProgram, ProgramSpec
 from repro.faults.injector import FaultInjector
 from repro.mem.backing import BackingStore
 from repro.mem.dram import Dram
@@ -85,6 +86,11 @@ class Machine:
             for node in range(cfg.num_cores)
         ]
         self.cores: list[Core | None] = [None] * cfg.num_cores
+        # creation-order sync-object tables: compiled programs reference
+        # barriers/locks as ("kind", creation index), which these resolve
+        # (creation order is deterministic for a given workload build)
+        self._barriers: list[Barrier] = []
+        self._locks: list[Lock] = []
         for node in range(cfg.noc.num_nodes):
             self.network.register(node, self._make_endpoint(node))
         # verification-and-faults layer (all off by default; see
@@ -162,27 +168,45 @@ class Machine:
     # ------------------------------------------------------------------
     # program setup
     # ------------------------------------------------------------------
-    def add_thread(self, core_id: int, program: Iterator) -> Core:
-        """Bind a thread program to a core (one program per core)."""
+    def add_thread(
+        self, core_id: int,
+        program: "Iterator | ProgramSpec | CompiledProgram",
+    ) -> Core:
+        """Bind a thread program to a core (one program per core).
+
+        Accepts a plain op generator, a pre-lowered
+        :class:`~repro.isa.compiled.CompiledProgram`, or a
+        :class:`~repro.isa.compiled.ProgramSpec` (factory + program-cache
+        slot — the form :meth:`repro.workloads.base.Workload.bind_program`
+        produces).  With ``cfg.compile_programs`` off, a spec is unwrapped
+        to its generator so the machine runs the legacy path.
+        """
         if not 0 <= core_id < self.cfg.num_cores:
             raise ValueError(f"core {core_id} out of range")
         if self.cores[core_id] is not None:
             raise ValueError(f"core {core_id} already has a thread")
+        if isinstance(program, ProgramSpec) and not self.cfg.compile_programs:
+            program = program.factory()
         core = Core(
             core_id, self.engine, self.l1s[core_id], program,
             self.stats.child("core").child(f"c{core_id}"),
             quantum=self.cfg.core_quantum,
+            sync_tables=(self._barriers, self._locks),
         )
         self.cores[core_id] = core
         return core
 
     def barrier(self, parties: int) -> Barrier:
         """A scheduler-level barrier bound to this machine's engine."""
-        return Barrier(self.engine, parties)
+        b = Barrier(self.engine, parties)
+        self._barriers.append(b)
+        return b
 
     def lock(self) -> Lock:
         """A scheduler-level FIFO mutex bound to this machine's engine."""
-        return Lock(self.engine)
+        lk = Lock(self.engine)
+        self._locks.append(lk)
+        return lk
 
     # ------------------------------------------------------------------
     # execution

@@ -119,11 +119,9 @@ class TraceRecorder:
         self._values: list[int] = []
         self._hits: list[bool] = []
         self._bus = machine.attach_bus()
-        self._bus.subscribe(self._record)
+        self._bus.subscribe(self._record, kinds={EventKind.ACCESS})
 
     def _record(self, event: Event) -> None:
-        if event.kind is not EventKind.ACCESS:
-            return
         self._cycles.append(event.cycle)
         self._cores.append(event.node)
         self._atypes.append(_WHAT_CODE[event.what])

@@ -10,6 +10,11 @@ Each core's accesses are replayed in recorded program order with
 deltas (capped, so a slow recorded run does not pad a fast replay).
 Recorded scribbles stay scribbles; ``SetAprx`` is issued up front.
 
+Traces lower *directly* to :class:`~repro.isa.compiled.CompiledProgram`
+columns (:func:`repro.isa.compiled.lower_trace`) — a recorded trace is
+already the flat op stream the compiled interpreter wants, so replay
+skips the per-access dataclass generator entirely.
+
 Replay is *timing-faithful in structure only*: the replayed machine
 re-decides hits/misses and coherence actions itself, which is exactly
 the point of replaying under a different protocol.
@@ -19,41 +24,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.common.config import SimConfig
-from repro.common.types import AccessType
-from repro.isa.instructions import Compute, Load, Scribble, SetAprx, Store
+from repro.isa.compiled import lower_trace
 from repro.sim.machine import Machine
 from repro.trace.record import Trace
 
 __all__ = ["replay_trace"]
-
-_MAX_GAP = 200  # cap reconstructed compute gaps (cycles)
-
-
-def _core_program(trace: Trace, d_distance: int):
-    """One core's replay generator."""
-    cycles = trace.cycles
-    atypes = trace.atypes
-    addrs = trace.addrs
-    values = trace.values
-
-    def program():
-        yield SetAprx(d_distance)
-        last = int(cycles[0]) if len(cycles) else 0
-        for i in range(len(cycles)):
-            gap = int(cycles[i]) - last
-            last = int(cycles[i])
-            if gap > 2:
-                yield Compute(min(gap, _MAX_GAP))
-            code = int(atypes[i])
-            addr = int(addrs[i])
-            if code == 0:
-                yield Load(addr)
-            elif code == 1:
-                yield Store(addr, int(values[i]) & 0xFFFFFFFF)
-            else:
-                yield Scribble(addr, int(values[i]) & 0xFFFFFFFF)
-
-    return program()
 
 
 def replay_trace(trace: Trace, cfg: SimConfig,
@@ -81,8 +56,9 @@ def replay_trace(trace: Trace, cfg: SimConfig,
         )
     for core in cores.tolist():
         sub = trace.for_core(int(core))
-        machine.add_thread(int(core),
-                           _core_program(sub, cfg.ghostwriter.d_distance))
+        prog = lower_trace(sub.cycles, sub.atypes, sub.addrs, sub.values,
+                           cfg.ghostwriter.d_distance)
+        machine.add_thread(int(core), prog)
     machine.run(max_cycles=max_cycles)
     machine.check_quiescent()
     return machine

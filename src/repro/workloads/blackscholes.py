@@ -14,6 +14,7 @@ on mantissa bits exactly as in the paper's hardware.  Error metric MPE.
 from __future__ import annotations
 
 import math
+from functools import partial
 
 import numpy as np
 
@@ -123,4 +124,4 @@ class BlackScholes(Workload):
                     collected[i] = yield from prices.load(i)
 
         for tid in range(self.num_threads):
-            machine.add_thread(tid, worker(tid))
+            self.bind_program(machine, tid, partial(worker, tid))

@@ -14,6 +14,8 @@ spatial correlation, scaled down.  Error metric MPE over merged bins.
 """
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.isa.instructions import (
@@ -114,4 +116,4 @@ class Histogram(Workload):
                         collected[ch * _BINS + b] = total
 
         for tid in range(self.num_threads):
-            machine.add_thread(tid, worker(tid))
+            self.bind_program(machine, tid, partial(worker, tid))

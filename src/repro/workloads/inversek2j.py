@@ -19,6 +19,7 @@ Error metric NRMSE over the final frame's angles (Table 2).
 from __future__ import annotations
 
 import math
+from functools import partial
 
 import numpy as np
 
@@ -153,4 +154,4 @@ class InverseK2J(Workload):
                     collected[2 * i + 1] = yield from th2.load(i)
 
         for tid in range(self.num_threads):
-            machine.add_thread(tid, worker(tid))
+            self.bind_program(machine, tid, partial(worker, tid))

@@ -21,6 +21,8 @@ output error.
 """
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.isa.instructions import (
@@ -221,4 +223,4 @@ class Jpeg(Workload):
                     collected[n_px + self.num_threads + k] = float(merged)
 
         for tid in range(self.num_threads):
-            machine.add_thread(tid, worker(tid))
+            self.bind_program(machine, tid, partial(worker, tid))

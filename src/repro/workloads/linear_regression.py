@@ -16,6 +16,8 @@ metric MPE (Table 2).
 """
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.isa.instructions import (
@@ -146,4 +148,4 @@ class LinearRegression(Workload):
                 collected[6] = intercept
 
         for tid in range(self.num_threads):
-            machine.add_thread(tid, worker(tid))
+            self.bind_program(machine, tid, partial(worker, tid))

@@ -10,6 +10,8 @@
 """
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.isa.instructions import (
@@ -104,7 +106,7 @@ class BadDotProduct(_DotProductBase):
                     collected[t] = yield from total.load(t)
 
         for tid in range(self.num_threads):
-            machine.add_thread(tid, worker(tid))
+            self.bind_program(machine, tid, partial(worker, tid))
 
 
 class PrivateDotProduct(_DotProductBase):
@@ -137,7 +139,7 @@ class PrivateDotProduct(_DotProductBase):
                     collected[t] = yield from total.load(t)
 
         for tid in range(self.num_threads):
-            machine.add_thread(tid, worker(tid))
+            self.bind_program(machine, tid, partial(worker, tid))
 
 
 class StoreThroughDotProduct(_DotProductBase):
@@ -190,4 +192,4 @@ class StoreThroughDotProduct(_DotProductBase):
                     collected[t] = yield from total.load(t)
 
         for tid in range(self.num_threads):
-            machine.add_thread(tid, worker(tid))
+            self.bind_program(machine, tid, partial(worker, tid))

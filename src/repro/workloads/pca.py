@@ -16,6 +16,8 @@ shared entry) without the full O(N^2 M) blow-up.  Error metric NRMSE.
 """
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.isa.instructions import (
@@ -138,4 +140,4 @@ class Pca(Workload):
                     )
 
         for tid in range(self.num_threads):
-            machine.add_thread(tid, worker(tid))
+            self.bind_program(machine, tid, partial(worker, tid))

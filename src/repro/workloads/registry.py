@@ -7,6 +7,7 @@ from __future__ import annotations
 
 from typing import Type
 
+from repro.isa.compiled import ProgramCache
 from repro.workloads.base import Workload
 from repro.workloads.blackscholes import BlackScholes
 from repro.workloads.histogram import Histogram
@@ -19,9 +20,13 @@ from repro.workloads.microbench import (
 from repro.workloads.pca import Pca
 
 __all__ = [
-    "PAPER_WORKLOADS", "MICROBENCHMARKS", "ALL_WORKLOADS",
+    "PAPER_WORKLOADS", "MICROBENCHMARKS", "ALL_WORKLOADS", "PROGRAM_CACHE",
     "create", "table2_rows", "paper_input_desc",
 ]
+
+#: process-wide compiled-program cache shared by every sweep point
+#: (each ``--jobs`` worker process holds its own copy)
+PROGRAM_CACHE = ProgramCache()
 
 #: the six Table 2 applications, in the paper's order
 PAPER_WORKLOADS: dict[str, Type[Workload]] = {
@@ -62,8 +67,18 @@ def create(name: str, num_threads: int, d_distance: int = 4,
         raise KeyError(
             f"unknown workload {name!r}; available: {sorted(ALL_WORKLOADS)}"
         )
-    return cls(num_threads=num_threads, d_distance=d_distance, seed=seed,
-               scale=scale, **kwargs)
+    w = cls(num_threads=num_threads, d_distance=d_distance, seed=seed,
+            scale=scale, **kwargs)
+    # arm the program cache: the key base identifies the op stream up to
+    # the per-machine knobs Workload.bind_program appends at bind time
+    key = (name, num_threads, seed, scale, tuple(sorted(kwargs.items())))
+    try:
+        hash(key)
+    except TypeError:
+        return w  # unhashable extra params: run uncached
+    w._program_cache = PROGRAM_CACHE
+    w._program_key = key
+    return w
 
 
 def paper_input_desc(name: str) -> str:

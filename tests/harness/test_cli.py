@@ -23,6 +23,18 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["fig99"])
 
+    def test_profile_prints_top_functions(self, capsys):
+        assert main(["table1", "--profile", "5"]) == 0
+        captured = capsys.readouterr()
+        assert "Table 1" in captured.out
+        # pstats writes its report to stderr, sorted by cumulative time
+        assert "cumulative" in captured.err
+        assert "function calls" in captured.err
+
+    def test_negative_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--profile", "-1"])
+
     def test_fig10_small_machine(self, capsys):
         assert main(["fig10", "--threads", "4", "--scale", "0.1"]) == 0
         assert "Fig. 10" in capsys.readouterr().out

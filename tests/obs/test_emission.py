@@ -54,6 +54,27 @@ class TestEmission:
                 EventKind.DIR, EventKind.L2} <= kinds
         assert m.bus.events_emitted == len(rec)
 
+    def test_access_events_skipped_without_access_subscriber(self):
+        """A machine traced for state transitions only never constructs
+        (or counts) per-access Events — the L1 hot path asks
+        bus.wants(ACCESS) before allocating."""
+        m = build_machine(2)
+        rec = EventRecorder()
+        m.attach_bus().subscribe(rec.record, kinds={EventKind.STATE})
+
+        def writer():
+            yield Store(BLK, 1)
+            yield Compute(50)
+
+        def reader():
+            yield Compute(20)
+            yield Load(BLK)
+
+        run_scripts(m, writer(), reader())
+        kinds = {e.kind for e in rec}
+        assert EventKind.STATE in kinds
+        assert EventKind.ACCESS not in kinds
+
     def test_access_events_carry_byte_addr_and_hit_info(self):
         m, rec = _traced(1)
 

@@ -59,6 +59,51 @@ class TestEventBus:
         assert seen == []
         assert bus.subscriber_count == 0
 
+    def test_kinds_filter_restricts_delivery(self):
+        bus = EventBus()
+        accesses, everything = [], []
+        bus.subscribe(accesses.append, kinds={EventKind.ACCESS})
+        bus.subscribe(everything.append)
+        bus.emit(_ev(kind=EventKind.ACCESS))
+        bus.emit(_ev(kind=EventKind.STATE))
+        assert [e.kind for e in accesses] == [EventKind.ACCESS]
+        assert len(everything) == 2
+
+    def test_wants_tracks_subscriber_kinds(self):
+        """Emitters on allocation-sensitive paths skip Event construction
+        entirely when no subscriber receives the kind (the L1 access
+        hot path's guard)."""
+        bus = EventBus()
+        assert not bus.wants(EventKind.ACCESS)
+        fn = lambda e: None  # noqa: E731
+        bus.subscribe(fn, kinds={EventKind.STATE})
+        assert bus.wants(EventKind.STATE)
+        assert not bus.wants(EventKind.ACCESS)
+        bus.unsubscribe(fn)
+        assert not bus.wants(EventKind.STATE)
+        # an unrestricted subscriber wants every kind
+        bus.subscribe(lambda e: None)
+        assert bus.wants(EventKind.ACCESS) and bus.wants(EventKind.MSHR_STALL)
+
+    def test_bound_method_subscribers_compare_by_equality(self):
+        """Bound methods are recreated per attribute access; subscribe's
+        duplicate check and unsubscribe must match by ==, not identity."""
+        class Sink:
+            def __init__(self):
+                self.seen = []
+
+            def on_event(self, e):
+                self.seen.append(e)
+
+        sink = Sink()
+        bus = EventBus()
+        bus.subscribe(sink.on_event)
+        with pytest.raises(ValueError):
+            bus.subscribe(sink.on_event)
+        bus.unsubscribe(sink.on_event)
+        bus.emit(_ev())
+        assert sink.seen == []
+
 
 class TestEventRecorder:
     def test_records_and_filters_by_kind(self):

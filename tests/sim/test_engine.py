@@ -129,6 +129,59 @@ class TestRunControl:
         e.run_until(42)
         assert e.now == 42
 
+    def test_run_until_batched_same_cycle_dispatch_sees_new_events(self):
+        """run_until shares run()'s batched dispatch: zero-delay events a
+        same-cycle callback adds fire within the same cycle (not left
+        queued behind the stop cycle)."""
+        e = Engine()
+        order = []
+
+        def first():
+            order.append(("first", e.now))
+            e.schedule(0, lambda: order.append(("chained", e.now)))
+
+        e.schedule(4, first)
+        e.schedule(4, lambda: order.append(("second", e.now)))
+        e.run_until(4)
+        assert order == [("first", 4), ("second", 4), ("chained", 4)]
+        assert e.pending() == 0
+
+    def test_run_until_counts_executed_events(self):
+        e = Engine()
+        for i in range(5):
+            e.schedule(i % 2, lambda: None)
+        e.run_until(0)
+        assert e.events_executed == 3
+        e.run_until(1)
+        assert e.events_executed == 5
+
+    def test_run_until_max_events_guards_same_cycle_spin(self):
+        """A zero-delay self-rescheduling loop trips the max_events
+        budget with the run()-style diagnostic (timeout_hook included)."""
+        e = Engine()
+        e.timeout_hook = lambda: "hook-context"
+
+        def forever():
+            e.schedule(0, forever)
+
+        e.schedule(3, forever)
+        with pytest.raises(SimulationTimeout) as exc:
+            e.run_until(10, max_events=25)
+        assert "run_until exceeded 25 events" in str(exc.value)
+        assert "hook-context" in str(exc.value)
+        assert e.events_executed == 26
+        assert e.now == 3  # never escaped the spinning cycle
+
+    def test_run_until_not_reentrant(self):
+        e = Engine()
+
+        def bad():
+            e.run_until(99)
+
+        e.schedule(0, bad)
+        with pytest.raises(SimulationError):
+            e.run_until(5)
+
     def test_events_executed_counts_everything(self):
         e = Engine()
         for i in range(7):

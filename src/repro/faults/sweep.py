@@ -125,7 +125,12 @@ def fault_sweep(workload: str = "histogram", *,
         for label, d in _CONFIGS
         for k in range(seeds_per_cell)
     ]
-    outcomes = run_grid([p for _r, _l, p in grid], jobs=base.jobs)
+    # base also carries the durability knobs (result store, resume,
+    # retry policy); the per-cell fault fields are part of each point's
+    # content key, so every (rate, config, fault-seed) cell commits and
+    # resumes independently
+    outcomes = run_grid([p for _r, _l, p in grid], jobs=base.jobs,
+                        options=base)
     errors: dict[tuple, list[float]] = {}
     crashes: dict[tuple, int] = {}
     for (rate, label, _point), outcome in zip(grid, outcomes):
@@ -171,13 +176,31 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="worker processes for the (rate x config x seed) "
                         "grid (results identical to --jobs 1)")
+    p.add_argument("--store", metavar="DB", default=None,
+                   help="durable result store: commit every cell as it "
+                        "lands and resume a killed sweep from it "
+                        "(see repro.store)")
+    p.add_argument("--resume", default=True,
+                   action=argparse.BooleanOptionalAction,
+                   help="serve cells already committed to --store "
+                        "(--no-resume recomputes and overwrites)")
+    p.add_argument("--retries", type=int, default=0, metavar="K",
+                   help="re-executions granted to transiently failing "
+                        "cells (worker death, timeout); deterministic "
+                        "crashes never retry")
+    p.add_argument("--point-timeout", type=float, default=0.0,
+                   metavar="SEC",
+                   help="wall-clock budget per cell, seconds (0 = none)")
     args = p.parse_args(argv)
 
     t0 = time.time()
     result = fault_sweep(
         args.workload, num_threads=args.threads, scale=args.scale,
         rates=tuple(args.rates), seeds_per_cell=args.seeds_per_cell,
-        seed=args.seed, options=RunOptions(jobs=args.jobs),
+        seed=args.seed,
+        options=RunOptions(jobs=args.jobs, store=args.store,
+                           resume=args.resume, point_retries=args.retries,
+                           point_timeout=args.point_timeout),
     )
     print(result.render())
     print(f"[{time.time() - t0:.1f}s]")

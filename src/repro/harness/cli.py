@@ -64,6 +64,24 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="fan independent sweep points out over N worker "
                         "processes (results are bit-identical to --jobs 1; "
                         "see repro.harness.parallel)")
+    p.add_argument("--store", metavar="DB", default=None,
+                   help="durable result store (SQLite): commit every sweep "
+                        "point as it lands and serve committed points on "
+                        "re-runs; inspect with 'python -m repro.store' "
+                        "(see repro.store)")
+    p.add_argument("--resume", default=True,
+                   action=argparse.BooleanOptionalAction,
+                   help="serve points already committed to --store "
+                        "(--no-resume recomputes and overwrites them)")
+    p.add_argument("--retries", type=int, default=0, metavar="K",
+                   help="re-executions granted to transiently failing "
+                        "sweep points (worker death, wall-clock timeout); "
+                        "deterministic failures never retry")
+    p.add_argument("--point-timeout", type=float, default=0.0,
+                   metavar="SEC",
+                   help="wall-clock budget per sweep point, in seconds "
+                        "(0 = unlimited); a blown budget is a transient "
+                        "failure, eligible for --retries")
     p.add_argument("--trace-events", action="store_true",
                    help="record every coherence event of the sweep runs "
                         "(see repro.obs); export with --trace-out")
@@ -95,6 +113,11 @@ def main(argv: list[str] | None = None) -> int:
                      f"got {args.timeline_interval}")
     if args.profile < 0:
         parser.error(f"--profile must be >= 0, got {args.profile}")
+    if args.retries < 0:
+        parser.error(f"--retries must be >= 0, got {args.retries}")
+    if args.point_timeout < 0:
+        parser.error(f"--point-timeout must be >= 0, "
+                     f"got {args.point_timeout:g}")
     if args.trace_out is not None and not (args.trace_events
                                            or args.timeline_interval):
         parser.error("--trace-out needs --trace-events and/or "
@@ -107,12 +130,15 @@ def main(argv: list[str] | None = None) -> int:
                          fault_seed=args.fault_seed, jobs=args.jobs,
                          trace_events=args.trace_events,
                          timeline_interval=interval,
-                         protocol=args.protocol)
+                         protocol=args.protocol,
+                         store=args.store, resume=args.resume,
+                         point_retries=args.retries,
+                         point_timeout=args.point_timeout)
     wanted = _ALL if args.figure == "all" else (args.figure,)
     cache = F.SweepCache(num_threads=args.threads, scale=args.scale,
                          seed=args.seed, options=options)
     sweep_wanted = [f for f in wanted if f in _SWEEP_FIGS]
-    if args.jobs > 1 and sweep_wanted:
+    if (args.jobs > 1 or args.store) and sweep_wanted:
         # warm the shared sweep across the pool before the per-figure
         # drivers read it; fig7 alone only needs the d in {4, 8} legs
         ds = (4, 8) if sweep_wanted == ["fig7"] else (0, 4, 8)
@@ -120,6 +146,9 @@ def main(argv: list[str] | None = None) -> int:
         cache.prefetch(ds=ds)
         print(f"[sweep prefetch x{args.jobs} jobs: "
               f"{time.time() - t0:.1f}s]\n")
+        store = cache.result_store()
+        if store is not None:
+            print(f"[store {args.store}: {store.stats.render()}]\n")
     if args.profile:
         # profile exactly the figure work (not argument parsing or the
         # export tail) so hot-path hunts don't need ad-hoc scripts
@@ -200,10 +229,10 @@ def _run_figure(name, args, cache):
         return F.fig11(cache)
     if name == "fig12":
         return F.fig12(num_threads=args.threads, seed=args.seed,
-                       jobs=args.jobs)
+                       jobs=args.jobs, options=cache.options)
     if name == "protocols":
         return F.fig_protocols(num_threads=args.threads, seed=args.seed,
-                               jobs=args.jobs)
+                               jobs=args.jobs, options=cache.options)
     raise AssertionError(name)  # pragma: no cover - argparse restricts
 
 

@@ -195,11 +195,12 @@ def run_pair(name: str, *, d_distance: int,
 
     ``options.jobs >= 2`` runs the two legs concurrently via the parallel
     executor (:mod:`repro.harness.parallel`); the rows are bit-identical
-    to the serial path either way.  The bare ``jobs`` keyword is a
-    deprecated shim.
+    to the serial path either way.  ``options.store`` makes both legs
+    durable: committed legs are served from the result store instead of
+    re-running.  The bare ``jobs`` keyword is a deprecated shim.
     """
     opts = resolve_options(options, who="run_pair", jobs=jobs)
-    if opts.jobs > 1:
+    if opts.jobs > 1 or opts.store:
         # local import: parallel builds on this module's run_workload
         from repro.harness.parallel import GridFailure, GridPoint, run_grid
         points = [
@@ -209,7 +210,7 @@ def run_pair(name: str, *, d_distance: int,
                       label=f"d_distance={d}")
             for d in (0, d_distance)
         ]
-        base, gw = run_grid(points, jobs=opts.jobs)
+        base, gw = run_grid(points, jobs=opts.jobs, options=opts)
         for row in (base, gw):
             if isinstance(row, GridFailure):
                 raise RuntimeError(

@@ -54,6 +54,13 @@ class SweepCache:
     ``jobs > 1`` makes :meth:`prefetch` fan the uncached grid points out
     over a process pool (:mod:`repro.harness.parallel`); the cached rows
     are bit-identical to serial runs.
+
+    ``options.store`` makes the sweep *durable*: every completed row
+    commits to a content-addressed result store
+    (:mod:`repro.store`), and both :meth:`row` and :meth:`prefetch`
+    serve committed points from the store instead of re-running them —
+    a killed figure run restarted with ``resume`` picks up exactly
+    where the committed work left off, bit-identically.
     """
 
     def __init__(self, num_threads: int = DEFAULT_THREADS,
@@ -77,6 +84,7 @@ class SweepCache:
             opts = opts.replace(fault_policy="log")
         self.options = opts
         self._rows: dict[tuple[str, int], RunRow] = {}
+        self._store = None      # lazily opened ResultStore handle
 
     # -- legacy read-only views (pre-RunOptions attribute names) -------
     @property
@@ -106,11 +114,31 @@ class SweepCache:
             options=self.options,
         )
 
+    def result_store(self):
+        """The lazily opened durable result store (None when disabled)."""
+        if self._store is None and self.options.store:
+            from repro.store import open_store
+            self._store = open_store(self.options.store)
+        return self._store
+
     def row(self, app: str, d: int) -> RunRow:
-        """Memoized run of (app, d); ``d=0`` is baseline MESI."""
+        """Memoized run of (app, d); ``d=0`` is baseline MESI.
+
+        With a configured result store, a point already committed there
+        is served without re-running (unless ``options.resume`` is
+        off); a freshly run point commits before being returned.
+        """
         key = (app, d)
         if key not in self._rows:
-            self._rows[key] = run_workload(app, **self._run_kwargs(app, d))
+            store = self.result_store()
+            if store is not None:
+                from repro.harness.parallel import GridPoint, run_point_stored
+                point = GridPoint(app, self._run_kwargs(app, d),
+                                  label=f"{app} d={d}")
+                self._rows[key] = run_point_stored(
+                    point, store, resume=self.options.resume)
+            else:
+                self._rows[key] = run_workload(app, **self._run_kwargs(app, d))
         return self._rows[key]
 
     def prefetch(self, apps=None, ds=_D_SWEEP, jobs: int | None = None) -> None:
@@ -119,11 +147,13 @@ class SweepCache:
         A grid point that fails in the parallel path is simply left
         uncached: the next :meth:`row` call reruns it serially and
         raises its real exception, exactly as the serial path would.
+        With a configured result store every completed point commits as
+        it lands, so a killed prefetch resumes from the committed rows.
         """
         jobs = self.jobs if jobs is None else jobs
         keys = [(app, d) for app in (apps or _APPS) for d in ds
                 if (app, d) not in self._rows]
-        if jobs > 1 and len(keys) > 1:
+        if (jobs > 1 or self.options.store) and len(keys) > 1:
             from repro.harness.parallel import (
                 GridFailure, GridPoint, run_grid,
             )
@@ -131,7 +161,10 @@ class SweepCache:
                 GridPoint(app, self._run_kwargs(app, d), label=f"{app} d={d}")
                 for app, d in keys
             ]
-            for key, outcome in zip(keys, run_grid(points, jobs=jobs)):
+            outcomes = run_grid(points, jobs=jobs,
+                                store=self.result_store(),
+                                options=self.options)
+            for key, outcome in zip(keys, outcomes):
                 if not isinstance(outcome, GridFailure):
                     self._rows[key] = outcome
             return
@@ -501,19 +534,26 @@ class Fig12Result:
 
 
 def fig12(timeouts=(128, 512, 1024), num_threads: int = DEFAULT_THREADS,
-          n_points: int = 4096, seed: int = 12345,
-          jobs: int = 1) -> Fig12Result:
-    """GI-timeout sensitivity sweep on the Listing-1 microbenchmark."""
+          n_points: int = 4096, seed: int = 12345, jobs: int = 1,
+          options: RunOptions | None = None) -> Fig12Result:
+    """GI-timeout sensitivity sweep on the Listing-1 microbenchmark.
+
+    ``options`` threads the durability knobs (result store, resume,
+    per-point retry/timeout) into the underlying grid run.
+    """
     from repro.harness.parallel import GridFailure, GridPoint, run_grid
+    extra = {"options": options} if options is not None else {}
     points = [
         GridPoint("bad_dot_product",
                   dict(d_distance=4, num_threads=num_threads, seed=seed,
-                       gi_timeout=timeout, n_points=n_points, max_value=3),
+                       gi_timeout=timeout, n_points=n_points, max_value=3,
+                       **extra),
                   label=f"gi_timeout={timeout}")
         for timeout in timeouts
     ]
     gi_pct, err = [], []
-    for point, row in zip(points, run_grid(points, jobs=jobs)):
+    for point, row in zip(points, run_grid(points, jobs=jobs,
+                                           options=options)):
         if isinstance(row, GridFailure):
             raise RuntimeError(f"fig12 point failed: {row.render()}")
         gi_pct.append(row.gi_serviced_pct)

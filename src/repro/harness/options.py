@@ -51,6 +51,22 @@ class RunOptions:
     #: Coherence protocol variant, one of
     #: :func:`repro.coherence.policy.available_protocols`.
     protocol: str = "ghostwriter"
+    #: Path of the durable, content-addressed sweep-result store
+    #: (SQLite; see :mod:`repro.store`).  ``None`` disables durability.
+    store: str | None = None
+    #: Serve grid points already committed to ``store`` instead of
+    #: re-running them (``--no-resume`` forces recompute-and-overwrite).
+    #: Meaningless without ``store``.
+    resume: bool = True
+    #: Wall-clock seconds granted to each grid point (0 = unlimited);
+    #: exceeding it is a *transient* failure, eligible for retry.
+    point_timeout: float = 0.0
+    #: Re-executions granted to a transiently failing grid point
+    #: (worker death, timeout, crash under injected faults); permanent
+    #: failures — DeadlockError, ProtocolError — never retry.
+    point_retries: int = 0
+    #: Base of the exponential retry backoff, in seconds.
+    point_backoff: float = 0.25
 
     def __post_init__(self) -> None:
         if self.fault_rate < 0:
@@ -64,6 +80,10 @@ class RunOptions:
             raise ValueError("jobs must be >= 1")
         if self.timeline_interval < 0 or self.flight_recorder < 0:
             raise ValueError("obs intervals/depths cannot be negative")
+        if self.point_timeout < 0 or self.point_backoff < 0:
+            raise ValueError("point timeout/backoff cannot be negative")
+        if self.point_retries < 0:
+            raise ValueError("point_retries cannot be negative")
         # registry import is deferred so options stays importable from
         # contexts that never touch the coherence layer
         from repro.coherence.policy import available_protocols

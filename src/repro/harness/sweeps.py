@@ -10,6 +10,13 @@ parameter order and are bit-identical to a serial run.  A point that
 raises — e.g. a configuration that genuinely deadlocks — becomes a
 :class:`~repro.harness.parallel.GridFailure` row; sibling points still
 complete.
+
+Passing ``options=RunOptions(store=...)`` makes the sweep durable:
+every completed point commits to a content-addressed result store and a
+re-run (or a crashed sweep restarted with ``resume``) serves committed
+points from the store instead of recomputing them, with bit-identical
+results.  ``point_retries``/``point_timeout`` in the same options add
+bounded retry with backoff and per-point wall-clock budgets.
 """
 from __future__ import annotations
 
@@ -97,7 +104,9 @@ def _sweep(parameter: str, values: Sequence, points: list[GridPoint], *,
         ]
         if jobs == 1:
             jobs = options.jobs
-    rows = run_grid(points, jobs=jobs)
+    # options also carries the durability/robustness knobs: the result
+    # store path and the per-point retry/timeout policy
+    rows = run_grid(points, jobs=jobs, options=options)
     return SweepResult(parameter, tuple(values), tuple(rows))
 
 

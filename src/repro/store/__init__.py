@@ -1,0 +1,51 @@
+"""Durable, content-addressed result store for sweep grids.
+
+Sweeps are grids of *pure* simulator runs: the resulting
+:class:`~repro.harness.experiment.RunRow` is a deterministic function of
+the grid point's configuration (workload, kwargs, protocol, seed) and
+the code that executed it.  ``repro.store`` exploits that purity to make
+sweeps durable: every completed point is committed to a SQLite database
+keyed by a BLAKE2b content hash of its configuration
+(:func:`~repro.store.keys.point_key`), and
+:func:`~repro.harness.parallel.run_grid` consults the store before
+fanning work out — a crashed or killed sweep resumes from what is
+committed instead of recomputing the whole grid.
+
+Layout:
+
+* :mod:`repro.store.keys` — the content-address: canonicalization of a
+  :class:`~repro.harness.parallel.GridPoint` (execution-only knobs such
+  as ``jobs`` or the store path itself never enter the key) and the
+  BLAKE2b digest over it plus the code/schema version.
+* :mod:`repro.store.result_store` — :class:`ResultStore`: WAL-journaled
+  SQLite with versioned migrations, atomic per-point commits, payload
+  hashes for integrity, and ``verify``/``gc`` maintenance.
+* :mod:`repro.store.cli` — ``python -m repro.store {show,verify,gc}``.
+
+The durability contract mirrors the ``--jobs`` determinism guarantee:
+a resumed sweep is **bit-identical** to a cold serial run (see
+``tests/store/test_resume.py``).
+"""
+from repro.store.keys import (
+    CODE_VERSION,
+    canonical_point,
+    options_fingerprint,
+    point_key,
+)
+from repro.store.result_store import (
+    ResultStore,
+    StoreError,
+    StoreStats,
+    open_store,
+)
+
+__all__ = [
+    "CODE_VERSION",
+    "ResultStore",
+    "StoreError",
+    "StoreStats",
+    "canonical_point",
+    "open_store",
+    "options_fingerprint",
+    "point_key",
+]

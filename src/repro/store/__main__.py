@@ -1,0 +1,7 @@
+"""Module entry point: ``python -m repro.store`` -> :func:`cli.main`."""
+import sys
+
+from repro.store.cli import main
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,119 @@
+"""``python -m repro.store``: inspect and maintain a result store.
+
+Subcommands::
+
+    python -m repro.store show   sweeps.db     # contents + hit rates
+    python -m repro.store verify sweeps.db     # integrity-check rows
+    python -m repro.store gc     sweeps.db     # drop stale-version rows
+
+``verify`` exits non-zero when any row fails its payload-hash or
+unpickle check (``--evict`` deletes the bad rows so the next sweep
+recomputes them); ``gc`` reclaims rows committed under an older code
+version, which can never be served again.
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.store.result_store import ResultStore, StoreError
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro.store",
+        description="Inspect and maintain a durable sweep-result store.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    show = sub.add_parser("show", help="summarize contents and hit rates")
+    show.add_argument("db", help="path to the store database")
+    show.add_argument("--rows", type=int, default=0, metavar="N",
+                      help="also list the N most recent rows")
+
+    verify = sub.add_parser("verify", help="integrity-check every row")
+    verify.add_argument("db", help="path to the store database")
+    verify.add_argument("--evict", action="store_true",
+                        help="delete rows that fail the check")
+
+    gc = sub.add_parser("gc", help="drop rows from older code versions")
+    gc.add_argument("db", help="path to the store database")
+    gc.add_argument("--vacuum", action="store_true",
+                    help="compact the database file afterwards")
+    return p
+
+
+def _show(store: ResultStore, n_rows: int) -> int:
+    info = store.summary()
+    kinds = info["by_kind"]
+    print(f"store {info['path']}: {info['rows']} rows "
+          f"({kinds.get('row', 0)} results, "
+          f"{kinds.get('failure', 0)} permanent failures), "
+          f"{info['payload_bytes'] / 1024:.1f} KiB payload")
+    print(f"schema v{info['schema_version']}, "
+          f"code versions: "
+          + ", ".join(f"{v} x{n}"
+                      for v, n in sorted(info["by_code_version"].items())))
+    rows = info["rows"]
+    print(f"cumulative hits: {info['total_hits']} "
+          f"({info['total_hits'] / rows:.1f} per row)" if rows
+          else "cumulative hits: 0")
+    if info["by_workload"]:
+        per_wl = ", ".join(f"{w or '?'}={n}"
+                           for w, n in info["by_workload"].items())
+        print(f"by workload: {per_wl}")
+    if n_rows:
+        for row in list(store.rows())[:n_rows]:
+            print(f"  {row.key}  {row.kind:<7} {row.workload:<18} "
+                  f"protocol={row.protocol or '-':<14} "
+                  f"seed={row.seed if row.seed is not None else '-':<10} "
+                  f"hits={row.hits}")
+    return 0
+
+
+def _verify(store: ResultStore, evict: bool) -> int:
+    bad = store.verify()
+    total = len(store)
+    if not bad:
+        print(f"ok: {total}/{total} rows pass integrity checks")
+        return 0
+    print(f"CORRUPT: {len(bad)}/{total} rows fail integrity checks:")
+    for key in bad:
+        print(f"  {key}")
+    if evict:
+        n = store.evict(bad)
+        print(f"evicted {n} rows; the next sweep recomputes them")
+    else:
+        print("re-run with --evict to delete them")
+    return 1
+
+
+def _gc(store: ResultStore, vacuum: bool) -> int:
+    before = len(store)
+    dropped = store.gc(vacuum=vacuum)
+    print(f"dropped {dropped} stale rows ({before - dropped} remain, "
+          f"current code version {store.code_version})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.store``."""
+    args = _build_parser().parse_args(argv)
+    try:
+        with ResultStore(args.db) as store:
+            if args.command == "show":
+                return _show(store, args.rows)
+            if args.command == "verify":
+                return _verify(store, args.evict)
+            if args.command == "gc":
+                return _gc(store, args.vacuum)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(args.command)  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,1 @@
+"""Tests for the durable, content-addressed result store."""

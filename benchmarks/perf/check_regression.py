@@ -32,6 +32,7 @@ KEY_BENCHES = (
     "core_step_loop",
     "l1_hit_path_mesi",
     "l1_hit_path_ghostwriter",
+    "sweep_wall_clock_batch",
 )
 
 DEFAULT_MAX_DROP = 0.25
@@ -50,13 +51,26 @@ def _ops_per_second(report: dict) -> dict[str, float]:
 def check(current: dict, baseline: dict,
           max_drop: float = DEFAULT_MAX_DROP) -> list[str]:
     """Regression messages for every key bench below the allowed floor
-    (empty list = pass).  Benches missing from either report are skipped
-    — the schema validator in run_perf.py owns name-set completeness."""
+    (empty list = pass).
+
+    A guarded bench missing from the *fresh* report is itself a failure
+    — a silently deleted or renamed benchmark must not pass the guard.
+    A bench missing only from the *baseline* is skipped: it was added
+    after the baseline was committed and has nothing to compare against
+    yet (the schema validator in run_perf.py keeps fresh reports
+    complete)."""
     cur = _ops_per_second(current)
     base = _ops_per_second(baseline)
     problems = []
     for name in KEY_BENCHES:
-        if name not in cur or name not in base:
+        if name not in cur:
+            problems.append(
+                f"{name}: guarded benchmark missing from the fresh "
+                f"report — deleted or renamed without updating "
+                f"KEY_BENCHES"
+            )
+            continue
+        if name not in base:
             continue
         floor = base[name] * (1.0 - max_drop)
         if cur[name] < floor:

@@ -10,8 +10,11 @@ and a protocol dimension (a pure L1 hit loop under the precise MESI
 policy vs the full Ghostwriter policy — the policy-indirection
 measurement — plus end-to-end runs of two registry variants) and the
 compiled-program layer (``core_step_loop``: the columnar interpreter's
-fetch/dispatch loop; ``sweep_wall_clock``: a three-point sweep whose
-points share one cached op stream) — and emits a machine-readable
+fetch/dispatch loop) and the sweep backends (``sweep_wall_clock`` vs
+``sweep_wall_clock_batch``: the same dense d-distance x GI-timeout
+grid through the serial interpreter and the lockstep batch engine of
+``repro.sim.batch`` — both produce bit-identical rows, so their ops/s
+ratio is the batch speedup) — and emits a machine-readable
 ``BENCH_perf.json`` so the performance trajectory is tracked from this
 PR on.
 
@@ -185,21 +188,49 @@ def bench_core_step_loop(n: int):
     return thunk, n
 
 
-def bench_sweep_wall_clock(n: int):
-    """A three-point GI-timeout sweep end to end — what the program
-    cache amortizes (every point re-uses one recorded op stream);
-    ops = total simulated cycles across the sweep."""
-    from repro.harness.sweeps import sweep_gi_timeout
+def _sweep_grid_points(n: int):
+    """The dense d-distance x GI-timeout sweep grid both sweep benches
+    run: ``n`` d values crossed with two GI timeouts on the histogram
+    workload (2n points sharing one compiled op stream)."""
+    from repro.harness.parallel import GridPoint
 
-    ops_box = [1]
+    return [
+        GridPoint("histogram", (("d_distance", d), ("gi_timeout", gi),
+                                ("num_threads", 4), ("scale", 0.1),
+                                ("seed", 12345)))
+        for d in range(1, n + 1) for gi in (256, 1024)
+    ]
 
-    def thunk() -> None:
-        res = sweep_gi_timeout("bad_dot_product", timeouts=(256, 512, 1024),
-                               num_threads=4, seed=12345, n_points=n,
-                               max_value=7)
-        ops_box[0] = sum(row.cycles for row in res.rows)
-    thunk()  # warm once so the reported op count is the real cycle count
-    return thunk, ops_box[0]
+
+def _bench_sweep_grid(backend: str):
+    """Factory of factories: the dense sweep grid under an execution
+    backend.  Both backends produce bit-identical rows (enforced by
+    tests/sim/test_batch_equivalence.py), so ops (total simulated
+    cycles) are equal and the ops/s ratio is the wall-clock speedup."""
+    def factory(n: int):
+        from repro.harness.options import RunOptions
+        from repro.harness.parallel import run_grid
+
+        points = _sweep_grid_points(n)
+        opts = RunOptions(backend=backend)
+        ops_box = [1]
+
+        def thunk() -> None:
+            rows = run_grid(points, options=opts)
+            ops_box[0] = sum(row.cycles for row in rows)
+        thunk()  # warm once so the reported op count is the real cycle count
+        return thunk, ops_box[0]
+    return factory
+
+
+#: serial baseline over the dense grid — one full interpreter run per
+#: sweep point (the program cache amortizes op-stream recording only)
+bench_sweep_wall_clock = _bench_sweep_grid("serial")
+
+#: the same grid through the lockstep batch backend (repro.sim.batch):
+#: one representative run per decision-equivalence class, every other
+#: lane served from it
+bench_sweep_wall_clock_batch = _bench_sweep_grid("batch")
 
 
 def _hit_loop_l1(protocol: str):
@@ -312,7 +343,8 @@ BENCHMARKS: list[tuple[str, Callable, int, int]] = [
     ("ddistance_array", bench_ddistance_array, 1_000_000, 1_000),
     ("workload_false_sharing", bench_workload_false_sharing, 1024, 96),
     ("core_step_loop", bench_core_step_loop, 50_000, 500),
-    ("sweep_wall_clock", bench_sweep_wall_clock, 512, 64),
+    ("sweep_wall_clock", bench_sweep_wall_clock, 32, 4),
+    ("sweep_wall_clock_batch", bench_sweep_wall_clock_batch, 32, 4),
     ("event_bus_emit", bench_event_bus_emit, 200_000, 500),
     ("workload_obs_tracing", bench_workload_obs_tracing, 1024, 96),
     # protocol dimension: the policy-indirection pair (pure L1 hit loop,

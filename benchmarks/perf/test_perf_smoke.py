@@ -158,6 +158,7 @@ def test_compiled_benchmarks_present(run_perf, tmp_path):
              json.loads(out.read_text())["benchmarks"]]
     assert "core_step_loop" in names
     assert "sweep_wall_clock" in names
+    assert "sweep_wall_clock_batch" in names
 
 
 @pytest.fixture(scope="module")
@@ -177,22 +178,42 @@ def _report(ops, mode="full"):
 
 
 def test_regression_guard_flags_only_real_drops(check_regression):
-    base = _report({"core_step_loop": 100.0, "similarity_scalar": 100.0})
+    names = check_regression.KEY_BENCHES
+    base = _report({n: 100.0 for n in names})
     ok = check_regression.check(
-        _report({"core_step_loop": 80.0, "similarity_scalar": 200.0}), base)
+        _report({n: 80.0 for n in names}), base)
     assert ok == []
-    problems = check_regression.check(
-        _report({"core_step_loop": 60.0, "similarity_scalar": 200.0}), base)
+    dropped = {n: 200.0 for n in names}
+    dropped["core_step_loop"] = 60.0
+    problems = check_regression.check(_report(dropped), base)
     assert len(problems) == 1 and "core_step_loop" in problems[0]
 
 
-def test_regression_guard_skips_unknown_and_rejects_check_mode(
+def test_regression_guard_fails_on_missing_guarded_bench(check_regression):
+    """A guarded bench absent from the fresh report is a failure, not a
+    silent skip — deleting or renaming a key benchmark must not turn
+    its guard off."""
+    names = check_regression.KEY_BENCHES
+    base = _report({n: 100.0 for n in names})
+    cur = {n: 100.0 for n in names}
+    del cur["sweep_wall_clock_batch"]
+    problems = check_regression.check(_report(cur), base)
+    assert len(problems) == 1
+    assert "sweep_wall_clock_batch" in problems[0]
+    assert "missing" in problems[0]
+
+
+def test_regression_guard_tolerates_new_bench_and_rejects_check_mode(
         check_regression):
-    base = _report({"core_step_loop": 100.0})
-    # benches absent from either side are the schema validator's job
-    assert check_regression.check(_report({}), base) == []
+    names = check_regression.KEY_BENCHES
+    # missing only from the *baseline*: the bench was added after the
+    # baseline was committed — nothing to compare against yet
+    assert check_regression.check(
+        _report({n: 100.0 for n in names}),
+        _report({"core_step_loop": 100.0})) == []
     with pytest.raises(SystemExit):
-        check_regression.check(_report({}, mode="check"), base)
+        check_regression.check(_report({}, mode="check"),
+                               _report({n: 100.0 for n in names}))
 
 
 def test_regression_guard_gates_committed_baseline(check_regression):

@@ -277,7 +277,7 @@ class L1Controller:
                     st["budget_fallbacks"] += 1
                 if over_budget or (
                     atype is AccessType.SCRIBBLE and not self._scribe_check(
-                        value, line.words[off], block
+                        value, line.words[off], block, state
                     )
                 ):
                     if state is _S.GS:
@@ -313,7 +313,8 @@ class L1Controller:
                 if (
                     atype is AccessType.SCRIBBLE
                     and self._allow_gs
-                    and self._scribe_check(value, line.words[off], block)
+                    and self._scribe_check(value, line.words[off], block,
+                                           state)
                 ):
                     line.words[off] = value
                     line.aux = 1  # first write of this approximate episode
@@ -329,7 +330,8 @@ class L1Controller:
                 if (
                     atype is AccessType.SCRIBBLE
                     and self._allow_gi
-                    and self._scribe_check(value, line.words[off], block)
+                    and self._scribe_check(value, line.words[off], block,
+                                           state)
                 ):
                     line.words[off] = value
                     line.aux = 1  # first write of this approximate episode

@@ -198,3 +198,30 @@ class CacheArray:
     def occupancy(self) -> int:
         """Number of valid lines in the array."""
         return sum(1 for _ in self.iter_valid())
+
+    def state_arrays(self, state_code: Callable[[Any], int]):
+        """Columnar snapshot of every valid line, sorted by tag.
+
+        Returns ``(tags, states, words)`` numpy arrays — tags as int64
+        block addresses, states as int8 codes via ``state_code`` (e.g.
+        ``repro.coherence.transitions.STATE_CODES.get``), words as an
+        (n, words_per_block) uint32 matrix.  Sorting by tag makes the
+        snapshot canonical: two arrays holding the same blocks in the
+        same states with the same data compare equal regardless of
+        set/way placement history.  Used by the batch backend's tests to
+        compare whole machine states across lanes in one vector op.
+        """
+        import numpy as np
+
+        lines = sorted(self.iter_valid(), key=lambda ln: ln.tag)
+        n = len(lines)
+        wpb = self.cfg.block_bytes // 4
+        tags = np.empty(n, dtype=np.int64)
+        states = np.empty(n, dtype=np.int8)
+        words = np.zeros((n, wpb), dtype=np.uint32)
+        for i, ln in enumerate(lines):
+            tags[i] = ln.tag
+            states[i] = state_code(ln.state)
+            if ln.words is not None:
+                words[i] = ln.words
+        return tags, states, words

@@ -64,6 +64,12 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="fan independent sweep points out over N worker "
                         "processes (results are bit-identical to --jobs 1; "
                         "see repro.harness.parallel)")
+    p.add_argument("--backend", choices=("serial", "batch"),
+                   default="serial",
+                   help="sweep execution backend: 'batch' advances "
+                        "d/gi-swept points in lockstep over shared "
+                        "representative runs (bit-identical results; see "
+                        "repro.sim.batch)")
     p.add_argument("--store", metavar="DB", default=None,
                    help="durable result store (SQLite): commit every sweep "
                         "point as it lands and serve committed points on "
@@ -133,7 +139,8 @@ def main(argv: list[str] | None = None) -> int:
                          protocol=args.protocol,
                          store=args.store, resume=args.resume,
                          point_retries=args.retries,
-                         point_timeout=args.point_timeout)
+                         point_timeout=args.point_timeout,
+                         backend=args.backend)
     wanted = _ALL if args.figure == "all" else (args.figure,)
     cache = F.SweepCache(num_threads=args.threads, scale=args.scale,
                          seed=args.seed, options=options)

@@ -20,7 +20,8 @@ from repro.obs.capture import ObsCapture
 from repro.workloads.base import WorkloadResult
 from repro.workloads.registry import create
 
-__all__ = ["experiment_config", "RunRow", "run_workload", "run_pair",
+__all__ = ["experiment_config", "RunRow", "run_workload",
+           "run_workload_result", "row_from_result", "run_pair",
            "DEFAULT_THREADS", "DEFAULT_SCALE", "WATCHDOG_INTERVAL"]
 
 DEFAULT_THREADS = 24
@@ -123,6 +124,17 @@ class RunRow:
         return sum(self.traffic.values())
 
 
+def row_from_result(name: str, d_label: int, result: WorkloadResult,
+                    cfg: SimConfig) -> RunRow:
+    """Summarize a finished run into the :class:`RunRow` the figures use.
+
+    ``d_label`` is the row's reported d-distance (0 encodes the MESI
+    baseline even though the machine ran with ``d_distance=1`` disabled);
+    ``cfg`` supplies the protocol tag and the energy model parameters.
+    """
+    return _row_from_result(name, d_label, result, cfg)
+
+
 def _row_from_result(name: str, d_label: int, result: WorkloadResult,
                      cfg: SimConfig) -> RunRow:
     machine = result.machine
@@ -174,16 +186,36 @@ def run_workload(name: str, *, d_distance: int,
         fault_rate=fault_rate, fault_seed=fault_seed,
         fault_policy=fault_policy,
     )
+    result, cfg = run_workload_result(
+        name, d_distance=d_distance, num_threads=num_threads, scale=scale,
+        seed=seed, gi_timeout=gi_timeout, protocol=protocol, options=opts,
+        **workload_kwargs,
+    )
+    return _row_from_result(name, d_distance, result, cfg)
+
+
+def run_workload_result(
+    name: str, *, d_distance: int, num_threads: int = DEFAULT_THREADS,
+    scale: float = DEFAULT_SCALE, seed: int = 12345, gi_timeout: int = 1024,
+    protocol: str | None = None, options: RunOptions | None = None,
+    **workload_kwargs,
+) -> tuple[WorkloadResult, SimConfig]:
+    """:func:`run_workload` up to — but not including — row extraction.
+
+    Returns the raw ``(WorkloadResult, SimConfig)`` pair so callers that
+    need the live machine (the batch backend rebuilds one representative
+    run into many lanes' rows) can inspect it before
+    :func:`row_from_result` summarizes it away.
+    """
     enabled = d_distance > 0
     cfg = experiment_config(
         enabled=enabled, d_distance=max(d_distance, 1),
         gi_timeout=gi_timeout, num_cores=num_threads, protocol=protocol,
-        options=opts,
+        options=options,
     )
     w = create(name, num_threads=num_threads, seed=seed, scale=scale,
                **workload_kwargs)
-    result = w.run(cfg)
-    return _row_from_result(name, d_distance, result, cfg)
+    return w.run(cfg), cfg
 
 
 def run_pair(name: str, *, d_distance: int,

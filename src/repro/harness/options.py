@@ -67,8 +67,18 @@ class RunOptions:
     point_retries: int = 0
     #: Base of the exponential retry backoff, in seconds.
     point_backoff: float = 0.25
+    #: Sweep execution backend: ``"serial"`` runs every grid point
+    #: through the per-point interpreter; ``"batch"`` lets ``run_grid``
+    #: advance groups of points that share a compiled program in
+    #: lockstep (:mod:`repro.sim.batch`), falling back per-point where
+    #: sharing is unsound.  Results are bit-identical either way.
+    backend: str = "serial"
 
     def __post_init__(self) -> None:
+        if self.backend not in ("serial", "batch"):
+            raise ValueError(
+                f"backend must be 'serial' or 'batch', got {self.backend!r}"
+            )
         if self.fault_rate < 0:
             raise ValueError("fault_rate cannot be negative")
         if self.fault_policy not in _POLICIES:

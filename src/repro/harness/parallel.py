@@ -808,10 +808,12 @@ def run_grid(points: Sequence[GridPoint], *, jobs: int = 1,
         store = open_store(options.store)
         own_store = True
     resume = options.resume if options is not None else True
+    backend = options.backend if options is not None else "serial"
 
     try:
         return _run_grid_stored(resolved, jobs=jobs, chunk_size=chunk_size,
-                                store=store, resume=resume, retry=retry)
+                                store=store, resume=resume, retry=retry,
+                                backend=backend)
     finally:
         if own_store and store is not None:
             store.close()
@@ -819,12 +821,31 @@ def run_grid(points: Sequence[GridPoint], *, jobs: int = 1,
 
 def _run_grid_stored(resolved: list[GridPoint], *, jobs: int,
                      chunk_size: int | None, store: Any | None,
-                     resume: bool, retry: RetryPolicy | None
+                     resume: bool, retry: RetryPolicy | None,
+                     backend: str = "serial"
                      ) -> list[RunRow | GridFailure]:
-    """Grid execution with optional store lookup/commit around it."""
+    """Grid execution with optional store lookup/commit around it.
+
+    ``backend="batch"`` routes the pending points through the lockstep
+    lane executor (:func:`repro.harness.batch.batch_fan_out`) — an
+    in-process path that shares representative runs across d/gi-swept
+    points and honors the same outcome/on_result contract as
+    :func:`fan_out` — so store lookups and per-point commits compose
+    identically, and served rows simply never become lanes.
+    """
+    if backend == "batch":
+        from repro.harness.batch import batch_fan_out
+
+        def execute(subset, on_result=None):
+            return batch_fan_out(subset, retry=retry, on_result=on_result)
+    else:
+        def execute(subset, on_result=None):
+            return fan_out(_run_point, subset, jobs=jobs,
+                           chunk_size=chunk_size, retry=retry,
+                           on_result=on_result)
+
     if store is None:
-        return fan_out(_run_point, resolved, jobs=jobs,
-                       chunk_size=chunk_size, retry=retry)
+        return execute(resolved)
 
     from repro.store import point_key
 
@@ -849,9 +870,7 @@ def _run_grid_stored(resolved: list[GridPoint], *, jobs: int,
             i = pending[local_index]
             _commit(store, keys[i], resolved[i], outcome)
 
-        outcomes = fan_out(_run_point, subset, jobs=jobs,
-                           chunk_size=chunk_size, retry=retry,
-                           on_result=commit)
+        outcomes = execute(subset, on_result=commit)
         for local_index, outcome in enumerate(outcomes):
             i = pending[local_index]
             if isinstance(outcome, GridFailure):

@@ -33,7 +33,7 @@ class ScribeUnit:
 
     __slots__ = ("d_distance", "enabled", "mode", "stats", "_hist",
                  "_mask", "_hist_counts", "_counters", "node", "engine",
-                 "bus")
+                 "bus", "probe")
 
     def __init__(self, d_distance: int = 0, enabled: bool = False,
                  stats: StatGroup | None = None,
@@ -56,6 +56,11 @@ class ScribeUnit:
         #: event bus (repro.obs); None on the enabled-check path keeps
         #: the comparator emission to one attribute check
         self.bus = None
+        #: decision-trace probe (repro.sim.batch): a list that records
+        #: every comparator decision as
+        #: ``(write_word, block_word, programmed_d, line_state, ok)``;
+        #: None keeps the hot path to a single attribute check
+        self.probe = None
 
     # -- setaprx / endaprx --------------------------------------------
     def program(self, d: int) -> None:
@@ -78,9 +83,14 @@ class ScribeUnit:
         ] += 1
 
     def check(self, write_word: int, block_word: int,
-              block: int = -1) -> bool:
+              block: int = -1, state=None) -> bool:
         """The ``approx`` output signal: True when the scribble may be
-        serviced approximately under the programmed d-distance."""
+        serviced approximately under the programmed d-distance.
+
+        ``state`` is the coherence state of the resident line at check
+        time; it is unused by the comparator itself but recorded by the
+        batch backend's decision-trace probe.
+        """
         if not self.enabled:
             return False
         if self.mode == "arithmetic":
@@ -89,6 +99,10 @@ class ScribeUnit:
         else:
             ok = (write_word ^ block_word) & self._mask == 0
         self._counters["passes" if ok else "fails"] += 1
+        if self.probe is not None:
+            self.probe.append(
+                (write_word, block_word, self.d_distance, state, ok)
+            )
         bus = self.bus
         if bus is not None:
             bus.emit(Event(

@@ -13,6 +13,7 @@ construction.
 """
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Iterator
 
 from repro.cache.l1 import L1Controller
@@ -35,7 +36,23 @@ from repro.sim.engine import Engine, SimulationError
 from repro.verify.monitor import InvariantMonitor, check_block_structure
 from repro.verify.watchdog import ProgressWatchdog, diagnostic_dump
 
-__all__ = ["Machine"]
+__all__ = ["Machine", "machine_hook"]
+
+#: construction hooks: each callable runs with the freshly-built machine
+#: at the end of ``Machine.__init__`` (before any threads are bound).
+#: The batch backend uses this to attach decision-trace probes to a run
+#: it does not construct itself; install via :func:`machine_hook`.
+_CONSTRUCTION_HOOKS: list = []
+
+
+@contextmanager
+def machine_hook(fn):
+    """Temporarily install ``fn(machine)`` as a construction hook."""
+    _CONSTRUCTION_HOOKS.append(fn)
+    try:
+        yield fn
+    finally:
+        _CONSTRUCTION_HOOKS.remove(fn)
 
 _DIRECTORY_TYPES = frozenset(
     {
@@ -127,6 +144,8 @@ class Machine:
         if obs.timeline_interval:
             self.timeline = MetricsTimeline(self, obs.timeline_interval)
         self._ran = False
+        for hook in _CONSTRUCTION_HOOKS:
+            hook(self)
 
     # ------------------------------------------------------------------
     # observability

@@ -43,21 +43,27 @@ from repro.sim.machine import Machine
 
 __all__ = [
     "FuzzTrace", "FuzzFailure", "approx_drops",
-    "generate_trace", "run_trace", "run_matrix",
+    "generate_trace", "run_trace", "run_trace_batch", "run_matrix",
     "minimize_trace", "save_corpus_trace", "load_corpus_trace", "main",
-    "PROTOCOL_MATRIX",
+    "PROTOCOL_MATRIX", "BATCH_LANE_DS",
 ]
 
 #: the protocol configurations every trace is exercised under: both
-#: precise bases, every approximation-capable registry variant, and one
+#: precise bases, every approximation-capable registry variant, one
 #: approximation-stripped variant (update-hybrid keeps its write-update
-#: mechanism even with approximation off)
-PROTOCOL_MATRIX: tuple[tuple[str, bool], ...] = (
+#: mechanism even with approximation off), and two batch-backend
+#: differentials (:func:`run_trace_batch`) exercising the lockstep
+#: lane-sharing proof of :mod:`repro.sim.batch`.  Entries are
+#: ``(protocol, gw)`` or ``(protocol, gw, backend)``; a missing backend
+#: means ``"serial"``.
+PROTOCOL_MATRIX: tuple[tuple, ...] = (
     ("mesi", False), ("ghostwriter", True),
     ("moesi", False), ("ghostwriter-moesi", True),
     ("gw-gs-only", True), ("gw-gi-only", True),
     ("self-invalidate", True),
     ("update-hybrid", True), ("update-hybrid", False),
+    ("ghostwriter", True, "batch"),
+    ("gw-gi-only", True, "batch"),
 )
 
 #: legacy (base, gw=True) spellings still accepted by :func:`run_trace`;
@@ -264,23 +270,143 @@ def run_trace(trace: FuzzTrace, *, protocol: str = "mesi", gw: bool = True,
     return m
 
 
+#: alternative d-distance lanes the batch differential predicts sharing
+#: for, straddling :data:`_FUZZ_D` (values encode same-word similarity
+#: in the low 8 bits: lanes above 8 share, while 4 — and sometimes 6 —
+#: peel, so both paths of the sharing predicate get exercised)
+BATCH_LANE_DS = (4, 6, 8, 12, 14)
+
+
+def _machine_fingerprint(machine: Machine) -> dict:
+    """Complete observable state of a finished machine: every counter,
+    the backing-memory image, and each L1's canonical array snapshot
+    (:meth:`repro.cache.sram.CacheArray.state_arrays`)."""
+    from repro.coherence.transitions import STATE_CODES
+
+    caches = []
+    for l1 in machine.l1s:
+        tags, states, words = l1.array.state_arrays(
+            lambda s: STATE_CODES.get(s, -1))
+        caches.append((tags.tobytes(), states.tobytes(), words.tobytes()))
+    return {
+        "stats": machine.stats.flatten(),
+        "memory": machine.backing.snapshot(),
+        "caches": caches,
+    }
+
+
+def run_trace_batch(trace: FuzzTrace, *, protocol: str = "ghostwriter",
+                    gw: bool = True, jitter: int = 0,
+                    monitor_period: int = 64, max_cycles: int = 2_000_000,
+                    lane_ds=BATCH_LANE_DS) -> dict[str, int]:
+    """Differential oracle for the lockstep lane-sharing proof of
+    :mod:`repro.sim.batch`.
+
+    Runs the trace once as a *representative* with the scribe decision
+    probe armed, then for every alternative d-distance in ``lane_ds``
+    asks the :class:`~repro.sim.batch.DecisionTrace` whether that lane
+    would share.  Each lane predicted to share is re-run serially (a
+    never-batched ground-truth run, itself passing :func:`run_trace`'s
+    oracles) and must be **bit-identical** to the representative in
+    every counter, every backing word, and every cache line
+    (:func:`_machine_fingerprint`); any difference is a
+    :class:`FuzzFailure`.  Lanes predicted to peel are exactly the
+    lanes the batch backend runs through the ordinary interpreter, so
+    there is nothing to verify for them.  Returns
+    ``{"shared": ..., "peeled": ..., "checks": ...}``.
+    """
+    from repro.sim.batch import DecisionTrace, probe_hook
+
+    label = f"seed={trace.seed} protocol={protocol} gw={gw} backend=batch"
+    records: list = []
+    with probe_hook(records):
+        rep = run_trace(trace, protocol=protocol, gw=gw, jitter=jitter,
+                        monitor_period=monitor_period,
+                        max_cycles=max_cycles)
+    dtrace = DecisionTrace(records, swept_d=trace.d_distance)
+    rep_print = None
+    shared = peeled = 0
+    for d in lane_ds:
+        if d == trace.d_distance:
+            continue
+        if not dtrace.agrees(d):
+            peeled += 1
+            continue
+        lane = run_trace(dc_replace(trace, d_distance=d),
+                         protocol=protocol, gw=gw, jitter=jitter,
+                         monitor_period=monitor_period,
+                         max_cycles=max_cycles)
+        shared += 1
+        if rep_print is None:
+            rep_print = _machine_fingerprint(rep)
+        lane_print = _machine_fingerprint(lane)
+        if lane_print != rep_print:
+            diff = [k for k in rep_print
+                    if lane_print[k] != rep_print[k]]
+            raise FuzzFailure(
+                f"[{label}] lane d={d} predicted to share with the "
+                f"d={trace.d_distance} representative but diverged "
+                f"in {', '.join(diff)} ({len(dtrace)} swept checks)"
+            )
+    return {"shared": shared, "peeled": peeled, "checks": len(dtrace)}
+
+
 def run_matrix(seeds, *, jitter: int = 0, num_cores: int = 3,
-               ops_per_core: int = 24,
-               matrix=PROTOCOL_MATRIX) -> dict[str, int]:
+               ops_per_core: int = 24, matrix=PROTOCOL_MATRIX,
+               corpus_dir: str | Path | None = None) -> dict[str, int]:
     """Run every seed under every protocol configuration.
 
-    Raises :class:`FuzzFailure` on the first violation; returns summary
-    counters (``runs``, ``ops``) when everything passes.
+    Matrix entries are ``(protocol, gw)`` or ``(protocol, gw,
+    backend)``; ``backend="batch"`` routes through
+    :func:`run_trace_batch`.  Raises :class:`FuzzFailure` on the first
+    violation — batch-sharing divergences are first ddmin-minimized and
+    saved into ``corpus_dir`` (when given) for regression replay.
+    Returns summary counters (``runs``, ``ops``) when everything passes.
     """
     runs = ops = 0
     for seed in seeds:
         trace = generate_trace(seed, num_cores=num_cores,
                                ops_per_core=ops_per_core)
-        for protocol, gw in matrix:
-            run_trace(trace, protocol=protocol, gw=gw, jitter=jitter)
+        for protocol, gw, *rest in matrix:
+            backend = rest[0] if rest else "serial"
+            if backend == "batch":
+                try:
+                    run_trace_batch(trace, protocol=protocol, gw=gw,
+                                    jitter=jitter)
+                except FuzzFailure:
+                    if corpus_dir is not None:
+                        _minimize_batch_divergence(
+                            trace, protocol=protocol, gw=gw,
+                            jitter=jitter, corpus_dir=corpus_dir)
+                    raise
+            else:
+                run_trace(trace, protocol=protocol, gw=gw, jitter=jitter)
             runs += 1
             ops += trace.op_count()
     return {"runs": runs, "ops": ops}
+
+
+def _minimize_batch_divergence(trace: FuzzTrace, *, protocol: str,
+                               gw: bool, jitter: int,
+                               corpus_dir: str | Path) -> Path:
+    """Shrink a batch-sharing divergence and save it to the corpus."""
+    def diverges(t: FuzzTrace) -> bool:
+        try:
+            run_trace_batch(t, protocol=protocol, gw=gw, jitter=jitter)
+        except FuzzFailure:
+            return True
+        return False
+
+    small = minimize_trace(trace, diverges)
+    path = (Path(corpus_dir)
+            / f"batch_divergence_seed{trace.seed}_{protocol}.json")
+    save_corpus_trace(
+        small, path,
+        note=(f"batch lane-sharing divergence: protocol={protocol} "
+              f"gw={gw} jitter={jitter}; replay with "
+              f"run_trace_batch (see repro.sim.batch)"),
+    )
+    return path
 
 
 def approx_drops(machine: Machine) -> int:
@@ -372,12 +498,16 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--cores", type=int, default=3)
     p.add_argument("--jitter", type=int, default=0,
                    help="max extra NoC delay cycles (race shaking)")
+    p.add_argument("--corpus", metavar="DIR", default=None,
+                   help="directory batch-sharing divergences are "
+                        "ddmin-minimized into (e.g. tests/verify/corpus)")
     args = p.parse_args(argv)
 
     t0 = time.time()
     summary = run_matrix(
         range(args.first_seed, args.first_seed + args.seeds),
         jitter=args.jitter, num_cores=args.cores, ops_per_core=args.ops,
+        corpus_dir=args.corpus,
     )
     dt = time.time() - t0
     print(

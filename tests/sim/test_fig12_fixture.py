@@ -1,0 +1,113 @@
+"""Cold fig12 run through the batch backend vs a committed serial
+fixture (CI's batch-equivalence job).
+
+The fixture under ``tests/sim/fixtures/`` holds the full row set of the
+fig12 GI-timeout sweep executed by the *serial* backend at pinned
+parameters.  The gated test re-runs the identical grid cold through
+``RunOptions(backend="batch")`` in a fresh process and compares **every
+serialized row field** — a divergence anywhere (stats, energy, traffic,
+error) fails CI.  Gated behind ``GHOSTWRITER_FIG12_FIXTURE=1`` because
+it re-simulates the whole sweep; the tier-1 suite already covers
+batch/serial equivalence on smaller grids
+(tests/sim/test_batch_equivalence.py).
+
+Regenerate the fixture (serial backend, by construction) after a
+legitimate simulator-behavior change::
+
+    PYTHONPATH=src:. python tests/sim/test_fig12_fixture.py regen
+"""
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+FIXTURE = Path(__file__).parent / "fixtures" / "fig12_serial.json"
+
+#: pinned fig12 parameters (smaller than the paper figure's defaults so
+#: the CI job stays fast, but the same grid shape)
+TIMEOUTS = (128, 512, 1024)
+THREADS = 4
+N_POINTS = 1024
+SEED = 12345
+
+
+def _points(options=None):
+    from repro.harness.parallel import GridPoint
+
+    extra = {"options": options} if options is not None else {}
+    return [
+        GridPoint("bad_dot_product",
+                  dict(d_distance=4, num_threads=THREADS, seed=SEED,
+                       gi_timeout=timeout, n_points=N_POINTS,
+                       max_value=3, **extra),
+                  label=f"gi_timeout={timeout}")
+        for timeout in TIMEOUTS
+    ]
+
+
+def _row_to_json(row) -> dict:
+    """Every comparable RunRow field, JSON-stable (obs is run-local and
+    excluded from RunRow comparison, so it is not serialized)."""
+    data = asdict(row)
+    data.pop("obs", None)
+    data["traffic"] = {k.name: v for k, v in row.traffic.items()}
+    return data
+
+
+def _run(backend: str) -> list[dict]:
+    from repro.harness.options import RunOptions
+    from repro.harness.parallel import run_grid
+
+    rows = run_grid(_points(), options=RunOptions(backend=backend))
+    return [_row_to_json(row) for row in rows]
+
+
+@pytest.mark.skipif(
+    os.environ.get("GHOSTWRITER_FIG12_FIXTURE") != "1",
+    reason="full fig12 re-simulation; set GHOSTWRITER_FIG12_FIXTURE=1",
+)
+def test_cold_batch_fig12_matches_committed_serial_rows():
+    committed = json.loads(FIXTURE.read_text())
+    batch = _run("batch")
+    assert len(batch) == len(committed["rows"])
+    for i, (got, want) in enumerate(zip(batch, committed["rows"])):
+        assert got == want, (
+            f"fig12 row {i} (gi_timeout={TIMEOUTS[i]}) diverged from "
+            f"the committed serial fixture"
+        )
+
+
+def test_fixture_is_committed_and_matches_parameters():
+    """Cheap tier-1 guard: the fixture exists and was generated at the
+    parameters this test pins (catches silent drift after a param
+    edit without a regen)."""
+    committed = json.loads(FIXTURE.read_text())
+    assert committed["params"] == {
+        "timeouts": list(TIMEOUTS), "threads": THREADS,
+        "n_points": N_POINTS, "seed": SEED,
+    }
+    assert len(committed["rows"]) == len(TIMEOUTS)
+    for row, timeout in zip(committed["rows"], TIMEOUTS):
+        assert row["workload"] == "bad_dot_product"
+
+
+def _regen() -> None:
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "params": {"timeouts": list(TIMEOUTS), "threads": THREADS,
+                   "n_points": N_POINTS, "seed": SEED},
+        "rows": _run("serial"),
+    }
+    FIXTURE.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"wrote {FIXTURE} ({len(payload['rows'])} rows)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if sys.argv[1:] == ["regen"]:
+        _regen()
+    else:
+        raise SystemExit(f"usage: {sys.argv[0]} regen")

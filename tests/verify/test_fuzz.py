@@ -8,6 +8,7 @@ from repro.mem.backing import BackingStore
 from repro.verify.fuzz import (
     PROTOCOL_MATRIX, FuzzFailure, FuzzTrace, approx_drops, generate_trace,
     load_corpus_trace, minimize_trace, run_matrix, run_trace,
+    run_trace_batch,
 )
 
 CORPUS = Path(__file__).parent / "corpus"
@@ -48,12 +49,55 @@ class TestMatrix:
         approximation-capable registry variant."""
         from repro.coherence.policy import available_protocols
 
-        sampled = {p for p, _gw in PROTOCOL_MATRIX}
+        sampled = {p for p, *_rest in PROTOCOL_MATRIX}
         assert sampled == set(available_protocols())
+
+    def test_matrix_samples_the_batch_backend(self):
+        """The matrix exercises the lockstep lane-sharing differential
+        (repro.sim.batch) on at least two protocol variants."""
+        batch = {p for p, _gw, *rest in PROTOCOL_MATRIX
+                 if rest and rest[0] == "batch"}
+        assert len(batch) >= 2
 
     def test_jitter_runs_clean(self):
         summary = run_matrix(range(5), jitter=3)
         assert summary["runs"] == 5 * len(PROTOCOL_MATRIX)
+
+
+class TestBatchDifferential:
+    def test_both_sharing_paths_occur(self):
+        """Across the first fuzz seeds, the default lane set exercises
+        both outcomes of the sharing predicate: lanes served from the
+        representative and lanes peeled back to their own run."""
+        shared = peeled = checks = 0
+        for seed in range(15):
+            s = run_trace_batch(generate_trace(seed))
+            shared += s["shared"]
+            peeled += s["peeled"]
+            checks += s["checks"]
+        assert shared > 0 and peeled > 0 and checks > 0
+
+    def test_bad_prediction_is_caught_and_minimized(self, monkeypatch,
+                                                    tmp_path):
+        """Force the sharing predicate to lie (always 'shares'): the
+        bit-identity fingerprint must catch the divergence, and
+        run_matrix must ddmin the offending trace into the corpus."""
+        from repro.sim.batch import DecisionTrace
+
+        monkeypatch.setattr(DecisionTrace, "agrees",
+                            lambda self, d: True)
+        with pytest.raises(FuzzFailure, match="diverged"):
+            for seed in range(30):
+                run_trace_batch(generate_trace(seed), lane_ds=(4,))
+
+        with pytest.raises(FuzzFailure, match="diverged"):
+            run_matrix(range(30),
+                       matrix=(("ghostwriter", True, "batch"),),
+                       corpus_dir=tmp_path)
+        saved = sorted(tmp_path.glob("batch_divergence_*.json"))
+        assert saved, "divergence was not saved to the corpus"
+        small = load_corpus_trace(saved[0])
+        assert small.op_count() < generate_trace(small.seed).op_count()
 
 
 class TestOracles:

@@ -33,6 +33,7 @@ KEY_BENCHES = (
     "l1_hit_path_mesi",
     "l1_hit_path_ghostwriter",
     "sweep_wall_clock_batch",
+    "noc_route_chiplet",
 )
 
 DEFAULT_MAX_DROP = 0.25

@@ -299,6 +299,28 @@ def bench_workload_protocol(protocol: str, d_distance: int):
     return factory
 
 
+def bench_noc_route_chiplet(n: int):
+    """The chiplet topology's route/latency arithmetic — the hot NoC
+    query path (`hops`, `route`, `path_latency`) over every (src, dst)
+    pair of the 64-core 4x(4x4) machine, repeated to ``n`` lookups."""
+    from repro.common.config import noc_for_topology
+
+    cfg = noc_for_topology("chiplet", 64)
+    topo = cfg.topo
+    pairs = [(s, d) for s in range(cfg.num_nodes)
+             for d in range(cfg.num_nodes)]
+    rounds = max(1, n // len(pairs))
+
+    def thunk() -> None:
+        hops, route, lat = topo.hops, topo.route, topo.path_latency
+        for _ in range(rounds):
+            for s, d in pairs:
+                hops(s, d)
+                route(s, d)
+                lat(s, d)
+    return thunk, 3 * rounds * len(pairs)
+
+
 def bench_event_bus_emit(n: int):
     """Raw EventBus fan-out with one subscriber (the tracing fast path)."""
     from repro.obs.events import Event, EventBus, EventKind
@@ -345,6 +367,7 @@ BENCHMARKS: list[tuple[str, Callable, int, int]] = [
     ("core_step_loop", bench_core_step_loop, 50_000, 500),
     ("sweep_wall_clock", bench_sweep_wall_clock, 32, 4),
     ("sweep_wall_clock_batch", bench_sweep_wall_clock_batch, 32, 4),
+    ("noc_route_chiplet", bench_noc_route_chiplet, 40_000, 4_096),
     ("event_bus_emit", bench_event_bus_emit, 200_000, 500),
     ("workload_obs_tracing", bench_workload_obs_tracing, 1024, 96),
     # protocol dimension: the policy-indirection pair (pure L1 hit loop,

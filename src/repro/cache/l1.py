@@ -104,6 +104,7 @@ class L1Controller:
         self._gi_blocks: set[int] = set()
         self._gi_timer_armed = False
         self._block_bytes = cfg.block_bytes
+        self._home_memo: dict[int, int] = {}
         self._word_shift = 2  # 4-byte words
         self._off_mask = cfg.block_bytes - 1  # block size is power-of-two
         # hot-path bindings: the access path runs once per simulated
@@ -161,7 +162,13 @@ class L1Controller:
         )
 
     def _home(self, block: int) -> int:
-        return self.cfg.home_directory(block)
+        # memoized per block: the directory interleave is a pure function
+        # of the address, and hot blocks resolve their home every message
+        memo = self._home_memo
+        home = memo.get(block)
+        if home is None:
+            home = memo[block] = self.cfg.home_directory(block)
+        return home
 
     def _commit(self, line: CacheLine) -> None:
         """Publish a line's words to the commit observer (if any)."""

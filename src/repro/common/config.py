@@ -8,8 +8,12 @@ are `dataclasses.replace` calls.
 """
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
+    from repro.noc.topologies import Topology
 
 __all__ = [
     "CacheConfig",
@@ -21,6 +25,7 @@ __all__ = [
     "ObsConfig",
     "SimConfig",
     "table1_rows",
+    "noc_for_topology",
 ]
 
 
@@ -69,7 +74,15 @@ class CacheConfig:
 
 @dataclass(frozen=True, slots=True)
 class NocConfig:
-    """2D mesh network-on-chip parameters."""
+    """Network-on-chip parameters.
+
+    The route/latency model itself is pluggable: ``topology`` names a
+    registered :class:`~repro.noc.topologies.Topology` ("mesh" — the
+    paper's 6x4 2D mesh — "ring", "crossbar", or "chiplet"), reachable
+    as :attr:`topo`.  ``mesh_cols``/``mesh_rows`` describe one die
+    (sub-mesh for "chiplet", which multiplies them by ``chiplets``;
+    ring/crossbar just linearize ``cols * rows`` nodes).
+    """
 
     mesh_cols: int = 6
     mesh_rows: int = 4
@@ -77,41 +90,89 @@ class NocConfig:
     link_latency: int = 1
     flit_bytes: int = 16
     control_msg_bytes: int = 8
-    #: Node ids (row-major) hosting the directory controllers; defaults to
-    #: the four mesh corners as in Table 1.
+    #: Node ids hosting the directory controllers; empty defers to the
+    #: topology's default placement (mesh: the four Table 1 corners;
+    #: ring/crossbar: evenly spread; chiplet: one gateway per chiplet).
     directory_nodes: tuple[int, ...] = ()
+    #: Registered topology name (see :mod:`repro.noc.topologies`).
+    topology: str = "mesh"
+    #: Sub-mesh count for the "chiplet" topology; must stay 1 for the
+    #: single-die topologies.
+    chiplets: int = 1
+    #: Latency of the gateway-to-gateway die crossing ("chiplet" only).
+    chiplet_link_latency: int = 4
 
     def __post_init__(self) -> None:
         if self.mesh_cols < 1 or self.mesh_rows < 1:
             raise ValueError("mesh dimensions must be positive")
+        if self.chiplets < 1:
+            raise ValueError("chiplet count must be positive")
+        if self.chiplet_link_latency < 1:
+            raise ValueError("chiplet link latency must be >= 1")
+        # runtime (not import-time) registry lookup: common.config must
+        # stay importable before repro.noc — same pattern as
+        # SimConfig.protocol and the coherence registry
+        from repro.noc.topologies import available_topologies, get_topology
+        if self.topology not in available_topologies():
+            raise ValueError(
+                f"unknown topology {self.topology!r}; registered: "
+                f"{', '.join(available_topologies())}"
+            )
+        topo_cls = get_topology(self.topology)
+        topo_cls.check_config(self)
         if not self.directory_nodes:
-            object.__setattr__(self, "directory_nodes", self.corner_nodes())
+            object.__setattr__(
+                self, "directory_nodes",
+                topo_cls.default_directory_nodes(self))
         for n in self.directory_nodes:
             if not 0 <= n < self.num_nodes:
-                raise ValueError(f"directory node {n} outside mesh")
+                raise ValueError(
+                    f"directory node {n} outside the {self.num_nodes}-node "
+                    f"{self.topology!r} topology"
+                )
 
     @property
     def num_nodes(self) -> int:
-        """Total mesh nodes (cols x rows)."""
-        return self.mesh_cols * self.mesh_rows
+        """Total nodes (cols x rows, times chiplets)."""
+        return self.mesh_cols * self.mesh_rows * self.chiplets
+
+    @property
+    def topo(self) -> "Topology":
+        """The (memoized) topology object — the route/latency model."""
+        from repro.noc.topologies import build_topology
+        return build_topology(self)
 
     def corner_nodes(self) -> tuple[int, ...]:
-        """The four mesh-corner node ids (Table 1's directory placement)."""
+        """Deprecated: the four mesh-corner node ids.  Directory
+        placement is topology-defined now
+        (``Topology.default_directory_nodes``)."""
+        warnings.warn(
+            "NocConfig.corner_nodes is deprecated; directory placement "
+            "is topology-defined (see repro.noc.topologies."
+            "Topology.default_directory_nodes)",
+            DeprecationWarning, stacklevel=2,
+        )
         c, r = self.mesh_cols, self.mesh_rows
         corners = {0, c - 1, c * (r - 1), c * r - 1}
         return tuple(sorted(corners))
 
     def coords(self, node: int) -> tuple[int, int]:
-        """(col, row) of a row-major node id."""
-        if not 0 <= node < self.num_nodes:
-            raise ValueError(f"node {node} outside mesh")
-        return node % self.mesh_cols, node // self.mesh_cols
+        """Deprecated shim: use ``NocConfig.topo.coords``."""
+        warnings.warn(
+            "NocConfig.coords is deprecated; use NocConfig.topo.coords "
+            "(see repro.noc.topologies)",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.topo.coords(node)
 
     def hops(self, src: int, dst: int) -> int:
-        """XY-routed hop count between two nodes."""
-        sx, sy = self.coords(src)
-        dx, dy = self.coords(dst)
-        return abs(sx - dx) + abs(sy - dy)
+        """Deprecated shim: use ``NocConfig.topo.hops``."""
+        warnings.warn(
+            "NocConfig.hops is deprecated; use NocConfig.topo.hops "
+            "(see repro.noc.topologies)",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.topo.hops(src, dst)
 
     def flits(self, payload_bytes: int) -> int:
         """Number of flits for a message of the given payload size."""
@@ -120,12 +181,27 @@ class NocConfig:
         return -(-payload_bytes // self.flit_bytes)
 
     def message_latency(self, src: int, dst: int, payload_bytes: int) -> int:
-        """End-to-end latency: per-hop router+link plus serialization."""
+        """End-to-end latency: per-hop router+link plus serialization.
+
+        Delegates the path term to the topology; on the default mesh
+        this is byte-identical to the historic
+        ``hops * (router + link) + flits - 1`` arithmetic.
+        """
         if src == dst:
             return self.router_latency  # local turnaround
-        hops = self.hops(src, dst)
-        per_hop = self.router_latency + self.link_latency
-        return hops * per_hop + (self.flits(payload_bytes) - 1)
+        return (self.topo.path_latency(src, dst)
+                + (self.flits(payload_bytes) - 1))
+
+    def home_directory(self, block_addr: int, block_bytes: int) -> int:
+        """NoC node of the directory controller owning a block
+        (block-index interleave over ``directory_nodes``)."""
+        dirs = self.directory_nodes
+        if not dirs:
+            raise ValueError(
+                f"topology {self.topology!r} provides no directory nodes; "
+                f"set NocConfig.directory_nodes explicitly"
+            )
+        return dirs[(block_addr // block_bytes) % len(dirs)]
 
 
 @dataclass(frozen=True, slots=True)
@@ -364,7 +440,8 @@ class SimConfig:
         if self.num_cores > self.noc.num_nodes:
             raise ValueError(
                 f"{self.num_cores} cores do not fit a "
-                f"{self.noc.mesh_cols}x{self.noc.mesh_rows} mesh"
+                f"{self.noc.num_nodes}-node {self.noc.topology!r} topology "
+                f"(see noc_for_topology)"
             )
         if self.l1.block_bytes != self.l2.block_bytes:
             raise ValueError("L1/L2 block sizes must match")
@@ -421,8 +498,7 @@ class SimConfig:
 
     def home_directory(self, block_addr: int) -> int:
         """NoC node of the directory controller owning this block."""
-        dirs = self.noc.directory_nodes
-        return dirs[(block_addr // self.block_bytes) % len(dirs)]
+        return self.noc.home_directory(block_addr, self.block_bytes)
 
     def home_l2_slice(self, block_addr: int) -> int:
         """NoC node of the L2 slice holding this block (address interleave)."""
@@ -457,13 +533,7 @@ def table1_rows(cfg: SimConfig) -> list[tuple[str, str]]:
             f"Pseudo-LRU, {cfg.l2.hit_latency}-cycle",
         ),
         ("Coherence", proto),
-        (
-            "Network",
-            f"{cfg.noc.mesh_cols}x{cfg.noc.mesh_rows} Mesh, XY Routing, "
-            f"{cfg.noc.router_latency}-cycle router, "
-            f"{cfg.noc.link_latency}-cycle link, "
-            f"{len(cfg.noc.directory_nodes)} Directory Controllers at Mesh Corners",
-        ),
+        ("Network", cfg.noc.topo.summary()),
         ("DRAM", f"{cfg.dram.size_bytes // 1024**3}GB, DDR3 1600MHz"),
     ]
 
@@ -500,6 +570,43 @@ def small_config(
         ),
         core_quantum=core_quantum,
     )
+
+
+def noc_for_topology(topology: str = "mesh", num_cores: int = 24, *,
+                     chiplets: int = 4) -> NocConfig:
+    """A ``NocConfig`` of the named topology sized to hold ``num_cores``.
+
+    The sizing rules keep the paper's machine exactly: the default mesh
+    at <= 24 cores *is* ``NocConfig()`` (6x4, corner directories).
+    Larger meshes grow square-ish; ring/crossbar linearize one node per
+    core; "chiplet" splits the cores over ``chiplets`` square-ish
+    sub-meshes (64 cores -> 4 chiplets of 4x4) with one directory slice
+    per chiplet.
+    """
+    if num_cores < 1:
+        raise ValueError("need at least one core")
+
+    def grid(n: int) -> tuple[int, int]:
+        cols = 1
+        while cols * cols < n:
+            cols += 1
+        return cols, -(-n // cols)
+
+    if topology == "mesh":
+        if num_cores <= 24:
+            return NocConfig()
+        cols, rows = grid(num_cores)
+        return NocConfig(mesh_cols=cols, mesh_rows=rows)
+    if topology in ("ring", "crossbar"):
+        return NocConfig(mesh_cols=num_cores, mesh_rows=1,
+                         topology=topology)
+    if topology == "chiplet":
+        per = -(-num_cores // chiplets)
+        cols, rows = grid(per)
+        return NocConfig(mesh_cols=cols, mesh_rows=rows,
+                         topology="chiplet", chiplets=chiplets)
+    # unknown names fall through to NocConfig's canonical registry error
+    return NocConfig(topology=topology)
 
 
 __all__ += ["default_config", "small_config"]

@@ -30,6 +30,7 @@ from repro.harness.experiment import (
     DEFAULT_THREADS, experiment_config, row_from_result,
     run_workload_result,
 )
+from repro.harness.options import LEGACY_KWARGS
 from repro.harness.parallel import (
     _NO_RETRY, GridFailure, GridPoint, RetryPolicy, _attempt_serial,
     _failure_from, _run_point, _traceback_tail,
@@ -45,10 +46,9 @@ __all__ = ["BatchReport", "batch_fan_out", "group_key",
 VERIFY_SHARED_SAMPLE = 1
 
 #: deprecated run_workload shim kwargs: points still using them are not
-#: worth teaching the batch path about — they fall back to serial
-_SHIM_KWARGS = frozenset({
-    "check_invariants", "fault_rate", "fault_seed", "fault_policy",
-})
+#: worth teaching the batch path about — they fall back to serial.
+#: Derived from the one shim table in :mod:`repro.harness.options`.
+_SHIM_KWARGS = frozenset(LEGACY_KWARGS)
 
 
 @dataclass
@@ -111,6 +111,7 @@ def _lane_cfg(kwargs: dict):
         gi_timeout=kwargs.get("gi_timeout", 1024),
         num_cores=kwargs.get("num_threads", DEFAULT_THREADS),
         protocol=kwargs.get("protocol"),
+        topology=kwargs.get("topology"),
         options=kwargs.get("options"),
     )
 

@@ -19,15 +19,20 @@ import time
 from repro.coherence.policy import available_protocols
 from repro.harness import figures as F
 from repro.harness.options import RunOptions
+from repro.noc.topologies import available_topologies
 from repro.obs.timeline import DEFAULT_TIMELINE_INTERVAL
 
 __all__ = ["main"]
 
 _SWEEP_FIGS = ("fig7", "fig8", "fig9", "fig10", "fig11")
-# "protocols" (the cross-variant comparison) is opt-in, not part of "all":
-# it runs every registered variant and exists for ablation studies
+# "protocols" (the cross-variant comparison) and "topology" (the
+# interconnect/scale sensitivity grid) are opt-in, not part of "all":
+# they run every registered variant and exist for ablation studies
 _ALL = ("table1", "table2", "fig1", "fig2") + _SWEEP_FIGS + ("fig12",)
-_EXTRA_FIGS = ("protocols",)
+_EXTRA_FIGS = ("protocols", "topology")
+
+#: core counts the "topology" figure sweeps, clipped to --threads/--cores
+_TOPOLOGY_CORES = (24, 64, 128, 256)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -40,6 +45,16 @@ def _build_parser() -> argparse.ArgumentParser:
                         "compares every registered coherence variant)")
     p.add_argument("--threads", type=int, default=F.DEFAULT_THREADS,
                    help="simulated cores / workload threads")
+    p.add_argument("--cores", type=int, default=None, metavar="N",
+                   help="alias for --threads (the topology sweeps speak "
+                        "core counts); also raises the ceiling of the "
+                        "'topology' figure's 24/64/128/256 grid")
+    p.add_argument("--topology", choices=available_topologies(),
+                   default="mesh",
+                   help="NoC topology of the simulated machine (see "
+                        "repro.noc.topologies); 'mesh' is the paper's "
+                        "6x4 machine, byte-identical to the historic "
+                        "hardwired NoC")
     p.add_argument("--scale", type=float, default=F.DEFAULT_SCALE,
                    help="input-size scale factor")
     p.add_argument("--seed", type=int, default=12345)
@@ -110,6 +125,10 @@ def main(argv: list[str] | None = None) -> int:
     """Parse arguments, run the requested figures, print/export them."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if args.cores is not None:
+        if args.cores < 1:
+            parser.error(f"--cores must be >= 1, got {args.cores}")
+        args.threads = args.cores
     if args.fault_rate < 0:
         parser.error(f"--fault-rate must be >= 0, got {args.fault_rate:g}")
     if args.jobs < 1:
@@ -137,6 +156,7 @@ def main(argv: list[str] | None = None) -> int:
                          trace_events=args.trace_events,
                          timeline_interval=interval,
                          protocol=args.protocol,
+                         topology=args.topology,
                          store=args.store, resume=args.resume,
                          point_retries=args.retries,
                          point_timeout=args.point_timeout,
@@ -240,6 +260,15 @@ def _run_figure(name, args, cache):
     if name == "protocols":
         return F.fig_protocols(num_threads=args.threads, seed=args.seed,
                                jobs=args.jobs, options=cache.options)
+    if name == "topology":
+        # default --topology sweeps every registered shape; an explicit
+        # non-default choice restricts the grid to that one
+        topologies = None if args.topology == "mesh" else (args.topology,)
+        counts = tuple(c for c in _TOPOLOGY_CORES if c <= args.threads)
+        if not counts:
+            counts = (args.threads,)
+        return F.fig_topology(topologies, counts, seed=args.seed,
+                              jobs=args.jobs, options=cache.options)
     raise AssertionError(name)  # pragma: no cover - argparse restricts
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.common.config import SimConfig, default_config
+from repro.common.config import SimConfig, default_config, noc_for_topology
 from repro.common.types import MessageClass
 from repro.energy.accounting import EnergyAccountant, EnergyReport
 from repro.harness.options import RunOptions, resolve_options
@@ -38,6 +38,7 @@ def experiment_config(*, enabled: bool, d_distance: int = 4,
                       gi_timeout: int = 1024,
                       num_cores: int = DEFAULT_THREADS,
                       protocol: str | None = None,
+                      topology: str | None = None,
                       options: RunOptions | None = None,
                       check_invariants: bool | None = None,
                       fault_rate: float | None = None,
@@ -46,14 +47,19 @@ def experiment_config(*, enabled: bool, d_distance: int = 4,
     """The scaled experiment machine (see module docstring).
 
     Run-shaping knobs — invariant checking, fault injection, event
-    tracing, the coherence ``protocol`` — come in through ``options``
-    (:class:`RunOptions`); the individual ``check_invariants``/``fault_*``
-    keywords are deprecated shims.  An explicit ``protocol`` argument
-    overrides ``options.protocol`` (legacy base-protocol spellings like
-    ``"moesi"`` still resolve through the registry shim, which warns).
-    The progress watchdog is always armed so a deadlocked experiment
-    fails in ~2x ``WATCHDOG_INTERVAL`` cycles with a diagnostic dump
-    instead of spinning to ``max_cycles``.
+    tracing, the coherence ``protocol``, the NoC ``topology`` — come in
+    through ``options`` (:class:`RunOptions`); the individual
+    ``check_invariants``/``fault_*`` keywords are deprecated shims.  An
+    explicit ``protocol``/``topology`` argument overrides the matching
+    ``options`` field (legacy base-protocol spellings like ``"moesi"``
+    still resolve through the registry shim, which warns).  The default
+    mesh at paper core counts is Table 1's machine exactly; a
+    non-default topology — or more cores than the 6x4 mesh holds —
+    rebuilds the NoC through
+    :func:`~repro.common.config.noc_for_topology`.  The progress
+    watchdog is always armed so a deadlocked experiment fails in ~2x
+    ``WATCHDOG_INTERVAL`` cycles with a diagnostic dump instead of
+    spinning to ``max_cycles``.
     """
     opts = resolve_options(
         options, who="experiment_config", check_invariants=check_invariants,
@@ -62,6 +68,8 @@ def experiment_config(*, enabled: bool, d_distance: int = 4,
     )
     if protocol is None:
         protocol = opts.protocol
+    if topology is None:
+        topology = opts.topology
     # The experiment machine is the paper's Table 1 machine, unmodified:
     # with the self-limiting scribble-fallback semantics the approximate
     # dynamics do not depend on cache-capacity pressure, so no scaling of
@@ -69,8 +77,14 @@ def experiment_config(*, enabled: bool, d_distance: int = 4,
     cfg = default_config().with_ghostwriter(
         enabled=enabled, d_distance=d_distance, gi_timeout=gi_timeout,
     )
+    # noc and num_cores must land in the same replace: validation runs
+    # per replace, and a non-default topology sized for few cores would
+    # reject Table 1's 24 cores (and vice versa) mid-update
+    noc = cfg.noc
+    if topology != "mesh" or num_cores > noc.num_nodes:
+        noc = noc_for_topology(topology, num_cores)
     return replace(
-        cfg, num_cores=num_cores, protocol=protocol,
+        cfg, num_cores=num_cores, noc=noc, protocol=protocol,
         verify=opts.verify_config(watchdog_interval=WATCHDOG_INTERVAL),
         faults=opts.fault_config(),
         obs=opts.obs_config(),
@@ -99,6 +113,14 @@ class RunRow:
     store_misses: int
     #: coherence protocol variant the run used (registry name)
     protocol: str = "ghostwriter"
+    #: hop-weighted flit traffic (the NoC's ``flit_hops`` counter) —
+    #: the distance-sensitive traffic metric of ``fig_topology``
+    flit_hops: int = 0
+    #: flits injected, for per-flit hop averages
+    flits: int = 0
+    #: GI flash invalidations fired by the timeout sweeper
+    #: (``gi_timeout_invalidations``) — the staleness-bound metric
+    gi_flashes: int = 0
     #: observability capture of the run (None unless tracing was on);
     #: excluded from comparisons so serial-vs-parallel row equality is
     #: about the simulated results, not the capture objects
@@ -123,6 +145,16 @@ class RunRow:
         """All coherence messages of the run."""
         return sum(self.traffic.values())
 
+    @property
+    def hops_per_flit(self) -> float:
+        """Mean hops a flit traveled — distance cost of the topology."""
+        return self.flit_hops / self.flits if self.flits else 0.0
+
+    @property
+    def gi_flashes_per_kcycle(self) -> float:
+        """GI flash-invalidation rate, per thousand cycles."""
+        return 1000.0 * self.gi_flashes / self.cycles if self.cycles else 0.0
+
 
 def row_from_result(name: str, d_label: int, result: WorkloadResult,
                     cfg: SimConfig) -> RunRow:
@@ -139,8 +171,12 @@ def _row_from_result(name: str, d_label: int, result: WorkloadResult,
                      cfg: SimConfig) -> RunRow:
     machine = result.machine
     l1 = result.stats.child("l1")
+    noc = result.stats.child("noc")
     energy = EnergyAccountant(cfg).report(machine)
     return RunRow(
+        flit_hops=int(noc.total("flit_hops")),
+        flits=int(noc.total("flits")),
+        gi_flashes=int(l1.total("gi_timeout_invalidations")),
         obs=ObsCapture.from_machine(machine),
         protocol=cfg.protocol,
         workload=name,
@@ -166,6 +202,7 @@ def run_workload(name: str, *, d_distance: int,
                  num_threads: int = DEFAULT_THREADS,
                  scale: float = DEFAULT_SCALE, seed: int = 12345,
                  gi_timeout: int = 1024, protocol: str | None = None,
+                 topology: str | None = None,
                  options: RunOptions | None = None,
                  check_invariants: bool | None = None,
                  fault_rate: float | None = None,
@@ -188,8 +225,8 @@ def run_workload(name: str, *, d_distance: int,
     )
     result, cfg = run_workload_result(
         name, d_distance=d_distance, num_threads=num_threads, scale=scale,
-        seed=seed, gi_timeout=gi_timeout, protocol=protocol, options=opts,
-        **workload_kwargs,
+        seed=seed, gi_timeout=gi_timeout, protocol=protocol,
+        topology=topology, options=opts, **workload_kwargs,
     )
     return _row_from_result(name, d_distance, result, cfg)
 
@@ -197,7 +234,8 @@ def run_workload(name: str, *, d_distance: int,
 def run_workload_result(
     name: str, *, d_distance: int, num_threads: int = DEFAULT_THREADS,
     scale: float = DEFAULT_SCALE, seed: int = 12345, gi_timeout: int = 1024,
-    protocol: str | None = None, options: RunOptions | None = None,
+    protocol: str | None = None, topology: str | None = None,
+    options: RunOptions | None = None,
     **workload_kwargs,
 ) -> tuple[WorkloadResult, SimConfig]:
     """:func:`run_workload` up to — but not including — row extraction.
@@ -211,7 +249,7 @@ def run_workload_result(
     cfg = experiment_config(
         enabled=enabled, d_distance=max(d_distance, 1),
         gi_timeout=gi_timeout, num_cores=num_threads, protocol=protocol,
-        options=options,
+        topology=topology, options=options,
     )
     w = create(name, num_threads=num_threads, seed=seed, scale=scale,
                **workload_kwargs)

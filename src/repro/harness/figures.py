@@ -25,7 +25,7 @@ from repro.workloads.registry import PAPER_WORKLOADS, create, table2_rows
 
 __all__ = [
     "SweepCache", "fig1", "fig2", "fig7", "fig8", "fig9", "fig10",
-    "fig11", "fig12", "fig_protocols", "table1", "table2",
+    "fig11", "fig12", "fig_protocols", "fig_topology", "table1", "table2",
 ]
 
 _APPS = list(PAPER_WORKLOADS)
@@ -612,4 +612,68 @@ def fig_protocols(protocols=None, *, d_distance: int = 4,
             f"protocol figure point {name!r} failed: {failure.render()}"
         )
     return FigProtocolsResult(list(result.values), list(result.rows))
+
+
+# ---------------------------------------------------------------------
+# Topology/scale sensitivity: GI staleness + GS acceptance vs directory
+# distance (the sweep the paper never ran; ROADMAP item 2)
+# ---------------------------------------------------------------------
+@dataclass(slots=True)
+class FigTopologyResult:
+    #: (topology, cores) pairs, aligned with ``dir_hops`` and ``rows``
+    points: list[tuple[str, int]]
+    #: static mean hop distance from a node to a home directory
+    dir_hops: list[float]
+    rows: list[RunRow]
+
+    def render(self) -> str:
+        """The figure as an aligned text table."""
+        table = [
+            [t, str(c), f"{h:5.2f}", str(r.cycles),
+             f"{r.gs_serviced_pct:5.1f}", f"{r.gi_serviced_pct:5.1f}",
+             f"{r.gi_flashes_per_kcycle:7.2f}", str(r.flit_hops),
+             f"{r.hops_per_flit:5.2f}", f"{r.error_pct:8.3f}"]
+            for (t, c), h, r in zip(self.points, self.dir_hops, self.rows)
+        ]
+        return ("Topology/scale sensitivity (bad_dot_product): GI "
+                "staleness and GS acceptance vs directory distance\n"
+                + _fmt_table(
+                    ["topology", "cores", "dir hops", "cycles", "GS %",
+                     "GI %", "flashes/kcyc", "flit-hops", "hops/flit",
+                     "error %"], table))
+
+
+def fig_topology(topologies=None, core_counts=(24, 64, 128, 256), *,
+                 d_distance: int = 4, gi_timeout: int = 1024,
+                 n_points: int = 4096, seed: int = 12345, jobs: int = 1,
+                 options: RunOptions | None = None) -> FigTopologyResult:
+    """Core count x topology sweep on the Listing-1 microbenchmark.
+
+    For each (topology, cores) cell the table reports the *static*
+    mean node-to-directory hop distance next to the measured GS/GI
+    service rates, the GI flash-invalidation rate, and the hop-weighted
+    flit traffic — how the protocol's staleness/effectiveness shifts as
+    the directory moves further away.
+    """
+    from repro.harness.sweeps import sweep_topology_scale
+
+    result = sweep_topology_scale(
+        "bad_dot_product", topologies, core_counts, d_distance=d_distance,
+        gi_timeout=gi_timeout, seed=seed, jobs=jobs, options=options,
+        n_points=n_points, max_value=3,
+    )
+    failed = result.failures()
+    if failed:
+        value, failure = failed[0]
+        raise RuntimeError(
+            f"topology figure point {value!r} failed: {failure.render()}"
+        )
+    dir_hops = []
+    for topo, cores in result.values:
+        cfg = experiment_config(enabled=True, d_distance=d_distance,
+                                gi_timeout=gi_timeout, num_cores=cores,
+                                topology=topo, options=options)
+        dir_hops.append(cfg.noc.topo.mean_directory_hops())
+    return FigTopologyResult(list(result.values), dir_hops,
+                             list(result.rows))
 

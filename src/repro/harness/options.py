@@ -18,9 +18,22 @@ from typing import Any
 
 from repro.common.config import FaultConfig, ObsConfig, VerifyConfig
 
-__all__ = ["RunOptions", "resolve_options"]
+__all__ = ["RunOptions", "resolve_options", "LEGACY_KWARGS"]
 
 _POLICIES = ("abort", "log", "recover")
+
+#: The pre-PR 3 keyword spellings the harness entry points still accept,
+#: mapped to the :class:`RunOptions` field that replaced each one.  This
+#: is THE shim table: :func:`resolve_options` validates against it and
+#: quotes the new spelling in its warning, and the batch backend's
+#: serial-fallback set (``repro.harness.batch``) derives from it.
+LEGACY_KWARGS = {
+    "check_invariants": "RunOptions.check_invariants",
+    "fault_rate": "RunOptions.fault_rate",
+    "fault_seed": "RunOptions.fault_seed",
+    "fault_policy": "RunOptions.fault_policy",
+    "jobs": "RunOptions.jobs",
+}
 
 
 @dataclass(frozen=True, slots=True)
@@ -67,6 +80,13 @@ class RunOptions:
     point_retries: int = 0
     #: Base of the exponential retry backoff, in seconds.
     point_backoff: float = 0.25
+    #: NoC topology of the simulated machine, one of
+    #: :func:`repro.noc.topologies.available_topologies` ("mesh" — the
+    #: paper's 6x4 2D mesh — "ring", "crossbar", "chiplet").  The
+    #: default is byte-identical to the pre-topology-layer machine and
+    #: is elided from store fingerprints (see
+    #: :data:`repro.store.keys.NEUTRAL_DEFAULTS`).
+    topology: str = "mesh"
     #: Sweep execution backend: ``"serial"`` runs every grid point
     #: through the per-point interpreter; ``"batch"`` lets ``run_grid``
     #: advance groups of points that share a compiled program in
@@ -102,6 +122,13 @@ class RunOptions:
             raise ValueError(
                 f"unknown protocol {self.protocol!r}; registered: "
                 f"{', '.join(available_protocols())}"
+            )
+        from repro.noc.topologies import available_topologies
+
+        if self.topology not in available_topologies():
+            raise ValueError(
+                f"unknown topology {self.topology!r}; registered: "
+                f"{', '.join(available_topologies())}"
             )
 
     # -- derived views -------------------------------------------------
@@ -144,8 +171,17 @@ def resolve_options(options: RunOptions | None = None, *, who: str,
     """
     supplied = {k: v for k, v in legacy.items() if v is not None}
     if supplied:
+        unknown = sorted(set(supplied) - set(LEGACY_KWARGS))
+        if unknown:
+            raise TypeError(
+                f"{who}: unexpected legacy keyword(s) {unknown}; the shim "
+                f"only spells {sorted(LEGACY_KWARGS)}"
+            )
+        renames = ", ".join(
+            f"{k} (use {LEGACY_KWARGS[k]})" for k in sorted(supplied)
+        )
         warnings.warn(
-            f"{who}: keyword(s) {sorted(supplied)} are deprecated; pass "
+            f"{who}: keyword(s) {renames} are deprecated; pass "
             "repro.harness.RunOptions instead",
             DeprecationWarning, stacklevel=3,
         )

@@ -29,7 +29,7 @@ from repro.harness.options import RunOptions
 from repro.harness.parallel import GridFailure, GridPoint, run_grid
 
 __all__ = ["SweepResult", "sweep_d_distance", "sweep_threads",
-           "sweep_gi_timeout", "sweep_protocols"]
+           "sweep_gi_timeout", "sweep_protocols", "sweep_topology_scale"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -186,4 +186,36 @@ def sweep_protocols(workload: str = "bad_dot_product",
         for p in protocols
     ]
     return _sweep("protocol", tuple(protocols), points, jobs=jobs,
+                  options=options)
+
+
+def sweep_topology_scale(workload: str = "bad_dot_product",
+                         topologies: Sequence[str] | None = None,
+                         core_counts: Sequence[int] = (24, 64, 128, 256),
+                         *, d_distance: int = 4, gi_timeout: int = 1024,
+                         scale: float = DEFAULT_SCALE, seed: int = 12345,
+                         jobs: int = 1, options: RunOptions | None = None,
+                         **kwargs) -> SweepResult:
+    """One run per (topology, core count) — the ``fig_topology`` grid.
+
+    Sweeps the interconnect shape (every registered topology by
+    default) against core count, so GI-timeout flash rate, GS
+    acceptance, and hop-weighted flit traffic can be read against the
+    growing NoC distance to the directory.  Sweep values are
+    ``(topology, cores)`` pairs, in that nesting order.
+    """
+    from repro.noc.topologies import available_topologies
+
+    if topologies is None:
+        topologies = available_topologies()
+    values = [(t, c) for t in topologies for c in core_counts]
+    points = [
+        GridPoint(workload,
+                  dict(d_distance=d_distance, gi_timeout=gi_timeout,
+                       num_threads=c, topology=t, scale=scale, seed=seed,
+                       **kwargs),
+                  label=f"topology={t} cores={c}")
+        for t, c in values
+    ]
+    return _sweep("topology_scale", tuple(values), points, jobs=jobs,
                   options=options)

@@ -1,1 +1,11 @@
-"""repro.noc subpackage."""
+"""repro.noc subpackage: transport (:mod:`~repro.noc.network`) and the
+pluggable topology registry (:mod:`~repro.noc.topologies`)."""
+from repro.noc.topologies import (
+    Topology, available_topologies, build_topology, get_topology,
+    register_topology,
+)
+
+__all__ = [
+    "Topology", "available_topologies", "build_topology", "get_topology",
+    "register_topology",
+]

@@ -1,7 +1,9 @@
 """Network-on-chip transport: delivery scheduling + traffic accounting.
 
 Latency model (documented in DESIGN.md): a message from ``src`` to ``dst``
-takes ``hops * (router_latency + link_latency)`` plus a serialization term
+takes the topology's path latency — ``hops * (router_latency +
+link_latency)`` on the default mesh; see :mod:`repro.noc.topologies` for
+ring/crossbar/chiplet — plus a serialization term
 of ``flits - 1`` cycles.  There is no contention/VC arbitration model; the
 paper's first-order effect — fewer coherence transactions means less
 traffic, energy and stall time — is carried entirely by message counts and
@@ -17,7 +19,7 @@ from repro.common.config import NocConfig
 from repro.common.stats import StatGroup
 from repro.common.types import MessageClass
 from repro.coherence.messages import Message
-from repro.noc.topology import route_routers
+from repro.noc.topologies import build_topology
 from repro.obs.events import Event, EventKind
 from repro.sim.engine import Engine
 
@@ -27,13 +29,15 @@ __all__ = ["Network"]
 class Network:
     """Routes :class:`Message` objects between registered endpoints."""
 
-    __slots__ = ("cfg", "engine", "stats", "block_bytes", "_endpoints",
-                 "_class_counts", "_in_flight", "fault_hook", "bus",
-                 "_c", "_route_memo")
+    __slots__ = ("cfg", "topo", "engine", "stats", "block_bytes",
+                 "_endpoints", "_class_counts", "_in_flight", "fault_hook",
+                 "bus", "_c", "_route_memo")
 
     def __init__(self, cfg: NocConfig, engine: Engine, block_bytes: int,
                  stats: StatGroup | None = None) -> None:
         self.cfg = cfg
+        #: the config's route/latency model (repro.noc.topologies)
+        self.topo = build_topology(cfg)
         self.engine = engine
         self.block_bytes = block_bytes
         self.stats = stats if stats is not None else StatGroup("noc")
@@ -117,13 +121,13 @@ class Network:
         key = (src, dst, payload)
         ent = self._route_memo.get(key)
         if ent is None:
-            cfg = self.cfg
+            cfg, topo = self.cfg, self.topo
             flits = cfg.flits(payload)
             ent = (
                 cfg.message_latency(src, dst, payload),
                 flits,
-                flits * cfg.hops(src, dst),
-                flits * route_routers(cfg, src, dst),
+                flits * topo.hops(src, dst),
+                flits * topo.route_routers(src, dst),
             )
             self._route_memo[key] = ent
         self._class_counts[klass] += 1

@@ -1,52 +1,52 @@
-"""Mesh topology helpers: coordinates, XY routing paths, distances.
+"""Deprecated mesh-only topology helpers.
 
-The latency/flit arithmetic lives on :class:`repro.common.config.NocConfig`;
-this module adds the route *enumeration* used by per-router traffic and
-energy accounting (each traversed router matters for DSENT-style energy,
-not just the hop count).
+The route enumeration and conformance checks moved behind the pluggable
+topology layer (:mod:`repro.noc.topologies`): ``xy_route`` is the mesh
+topology's ``route``, ``route_routers`` is ``Topology.route_routers``,
+and ``validate_topology`` is ``Topology.validate`` — now sample-based
+above :data:`~repro.noc.topologies.VALIDATE_SAMPLE_LIMIT` nodes instead
+of O(n²) over all pairs.  These shims delegate (for *any* registered
+topology, not just the mesh) and warn, in the PR 4/PR 6 deprecation
+style.
 """
 from __future__ import annotations
 
+import warnings
+
 from repro.common.config import NocConfig
+from repro.noc.topologies import VALIDATE_SAMPLE_LIMIT, build_topology
 
 __all__ = ["xy_route", "route_routers", "validate_topology"]
 
 
+def _warn(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.noc.topology.{old} is deprecated; use {new} "
+        "(see repro.noc.topologies)",
+        DeprecationWarning, stacklevel=3,
+    )
+
+
 def xy_route(cfg: NocConfig, src: int, dst: int) -> list[int]:
-    """Node ids visited by dimension-ordered (X then Y) routing, inclusive
-    of both endpoints."""
-    sx, sy = cfg.coords(src)
-    dx, dy = cfg.coords(dst)
-    path = [src]
-    x, y = sx, sy
-    step = 1 if dx > x else -1
-    while x != dx:
-        x += step
-        path.append(y * cfg.mesh_cols + x)
-    step = 1 if dy > y else -1
-    while y != dy:
-        y += step
-        path.append(y * cfg.mesh_cols + x)
-    return path
+    """Deprecated shim: node ids visited by the config's topology route
+    (dimension-ordered X-then-Y on the default mesh), inclusive of both
+    endpoints.  Use ``cfg.topo.route(src, dst)``."""
+    _warn("xy_route", "NocConfig.topo.route")
+    return build_topology(cfg).route(src, dst)
 
 
 def route_routers(cfg: NocConfig, src: int, dst: int) -> int:
-    """Number of router traversals for a message (includes injection
-    router; a local message still crosses its own router once)."""
-    return len(xy_route(cfg, src, dst))
+    """Deprecated shim: router traversals for a message (includes the
+    injection router).  Use ``cfg.topo.route_routers(src, dst)``."""
+    _warn("route_routers", "NocConfig.topo.route_routers")
+    return build_topology(cfg).route_routers(src, dst)
 
 
-def validate_topology(cfg: NocConfig) -> None:
-    """Sanity checks used by tests: XY routes are minimal and connected."""
-    for src in range(cfg.num_nodes):
-        for dst in range(cfg.num_nodes):
-            path = xy_route(cfg, src, dst)
-            if len(path) - 1 != cfg.hops(src, dst):
-                raise AssertionError(
-                    f"non-minimal route {src}->{dst}: {path}"
-                )
-            for a, b in zip(path, path[1:]):
-                ax, ay = cfg.coords(a)
-                bx, by = cfg.coords(b)
-                if abs(ax - bx) + abs(ay - by) != 1:
-                    raise AssertionError(f"route {src}->{dst} jumps {a}->{b}")
+def validate_topology(cfg: NocConfig, *,
+                      sample_limit: int = VALIDATE_SAMPLE_LIMIT,
+                      seed: int = 0) -> None:
+    """Deprecated shim: route minimality/connectivity conformance.
+    Use ``cfg.topo.validate()`` — exhaustive at paper scale, a seeded
+    deterministic sample above ``sample_limit`` nodes."""
+    _warn("validate_topology", "NocConfig.topo.validate")
+    build_topology(cfg).validate(sample_limit=sample_limit, seed=seed)

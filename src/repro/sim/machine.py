@@ -81,6 +81,9 @@ class Machine:
         self.network = Network(
             cfg.noc, self.engine, cfg.block_bytes, self.stats.child("noc")
         )
+        #: the machine's route/latency model (repro.noc.topologies) —
+        #: the same memoized instance the network resolved from cfg.noc
+        self.topology = self.network.topo
         self.l2_slices = [
             L2Slice(node, cfg.l2, self.stats.child("l2").child(f"slice{node}"))
             for node in range(cfg.num_cores)

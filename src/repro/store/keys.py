@@ -21,7 +21,8 @@ import hashlib
 from typing import Any, Mapping
 
 __all__ = ["CODE_VERSION", "KEY_SCHEMA", "EXECUTION_FIELDS",
-           "options_fingerprint", "canonical_point", "point_key"]
+           "NEUTRAL_DEFAULTS", "options_fingerprint", "canonical_point",
+           "point_key"]
 
 #: Revision of the key construction itself.  Bump when the
 #: canonicalization below changes shape, so old stores never serve rows
@@ -59,18 +60,35 @@ EXECUTION_FIELDS = frozenset({
 })
 
 
+#: Result-shaping ``RunOptions`` fields elided from the fingerprint
+#: while they hold their neutral default.  This is how a *new* knob
+#: joins ``RunOptions`` without retiring every stored row: a row keyed
+#: before the knob existed still satisfies a lookup at the knob's
+#: default (which is defined to be simulation-identical to the
+#: pre-knob behavior), while any non-default value keys distinctly.
+NEUTRAL_DEFAULTS = {
+    # the default mesh is byte-identical to the pre-topology-layer
+    # machine (PR 8); ring/crossbar/chiplet fingerprints diverge
+    "topology": "mesh",
+}
+
+
 def options_fingerprint(options: Any) -> tuple:
     """The result-shaping fields of a ``RunOptions``, as sorted pairs.
 
     Works on any dataclass instance; fields named in
-    :data:`EXECUTION_FIELDS` are dropped.  The tuple form has a
+    :data:`EXECUTION_FIELDS` are dropped, and fields sitting at their
+    :data:`NEUTRAL_DEFAULTS` value are elided.  The tuple form has a
     deterministic ``repr`` suitable for hashing.
     """
-    pairs = [
-        (f.name, getattr(options, f.name))
-        for f in dataclasses.fields(options)
-        if f.name not in EXECUTION_FIELDS
-    ]
+    pairs = []
+    for f in dataclasses.fields(options):
+        if f.name in EXECUTION_FIELDS:
+            continue
+        value = getattr(options, f.name)
+        if f.name in NEUTRAL_DEFAULTS and value == NEUTRAL_DEFAULTS[f.name]:
+            continue
+        pairs.append((f.name, value))
     return tuple(sorted(pairs))
 
 

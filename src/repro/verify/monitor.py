@@ -67,7 +67,16 @@ def check_block_structure(machine, block: int,
         raise ProtocolError(
             f"{block:#x} owned by {exclusive[0]} but shared by {shared}"
         )
-    agent = machine.agents[machine.cfg.home_directory(block)]
+    home = machine.cfg.home_directory(block)
+    agent = machine.agents.get(home)
+    if agent is None:
+        # a topology whose directory placement disagrees with the built
+        # agents would otherwise surface as a bare KeyError mid-check
+        raise ProtocolError(
+            f"no directory agent at home node {home} for {block:#x} "
+            f"(topology {machine.cfg.noc.topology!r}, directories "
+            f"{machine.cfg.noc.directory_nodes})"
+        )
     entry = agent.peek_entry(block)
     if owners:
         if entry is None or entry.owner != owners[0]:

@@ -50,15 +50,25 @@ class TestNocConfig:
 
     def test_coords_roundtrip(self):
         noc = NocConfig(mesh_cols=6, mesh_rows=4)
-        assert noc.coords(0) == (0, 0)
-        assert noc.coords(5) == (5, 0)
-        assert noc.coords(23) == (5, 3)
+        assert noc.topo.coords(0) == (0, 0)
+        assert noc.topo.coords(5) == (5, 0)
+        assert noc.topo.coords(23) == (5, 3)
 
     def test_hops_manhattan(self):
         noc = NocConfig(mesh_cols=6, mesh_rows=4)
-        assert noc.hops(0, 0) == 0
-        assert noc.hops(0, 23) == 8
-        assert noc.hops(5, 18) == 8
+        assert noc.topo.hops(0, 0) == 0
+        assert noc.topo.hops(0, 23) == 8
+        assert noc.topo.hops(5, 18) == 8
+
+    def test_topology_knob_rebuilds_the_model(self):
+        ring = NocConfig(mesh_cols=6, mesh_rows=4, topology="ring")
+        assert ring.topo.hops(0, 23) == 1
+        with pytest.raises(ValueError, match="registered"):
+            NocConfig(topology="torus")
+
+    def test_directory_node_error_names_topology(self):
+        with pytest.raises(ValueError, match="'mesh'"):
+            NocConfig(mesh_cols=2, mesh_rows=2, directory_nodes=(4,))
 
     def test_flits(self):
         noc = NocConfig()

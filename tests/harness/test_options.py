@@ -6,6 +6,7 @@ import pytest
 from repro.harness import RunOptions, resolve_options
 from repro.harness.experiment import experiment_config, run_workload
 from repro.harness.figures import SweepCache
+from repro.harness.options import LEGACY_KWARGS
 
 
 class TestRunOptions:
@@ -80,6 +81,39 @@ class TestResolveOptions:
         assert out == RunOptions()
         assert not [w for w in recwarn
                     if issubclass(w.category, DeprecationWarning)]
+
+    @pytest.mark.parametrize("key,value", [
+        ("check_invariants", False),
+        ("fault_rate", 2.0),
+        ("fault_seed", 9),
+        ("fault_policy", "log"),
+        ("jobs", 2),
+    ])
+    def test_each_legacy_spelling_warns_once_naming_replacement(
+            self, recwarn, key, value):
+        out = resolve_options(None, who="x", **{key: value})
+        warns = [w for w in recwarn
+                 if issubclass(w.category, DeprecationWarning)]
+        assert len(warns) == 1
+        assert LEGACY_KWARGS[key] in str(warns[0].message)
+        assert getattr(out, key) == value
+
+    def test_shim_table_covers_exactly_the_pre_pr3_spellings(self):
+        assert sorted(LEGACY_KWARGS) == [
+            "check_invariants", "fault_policy", "fault_rate",
+            "fault_seed", "jobs",
+        ]
+        for field in LEGACY_KWARGS.values():
+            assert field.startswith("RunOptions.")
+
+    def test_unknown_legacy_key_is_a_type_error(self):
+        with pytest.raises(TypeError, match="unexpected legacy keyword"):
+            resolve_options(None, who="x", fault_rtae=1.0)
+
+    def test_topology_field_validated(self):
+        assert RunOptions(topology="chiplet").topology == "chiplet"
+        with pytest.raises(ValueError, match="unknown topology"):
+            RunOptions(topology="torus")
 
 
 class TestSurfaceShims:

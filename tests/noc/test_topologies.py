@@ -1,0 +1,350 @@
+"""Conformance suite for the pluggable topology layer (repro.noc.topologies).
+
+Covers the registry, per-topology route conformance (minimality,
+connectivity, symmetry), byte-identity of the default mesh with the
+historic hardwired arithmetic, the chiplet latency model, directory
+placement / ``home_directory`` interleaving, and the seeded sampling
+that keeps ``validate`` tractable past paper scale.
+"""
+import pytest
+
+from repro.common.config import NocConfig, SimConfig, noc_for_topology
+from repro.noc import topologies as T
+from repro.noc.topologies import (
+    VALIDATE_SAMPLE_LIMIT,
+    ChipletTopology,
+    CrossbarTopology,
+    MeshTopology,
+    RingTopology,
+    Topology,
+    available_topologies,
+    build_topology,
+    get_topology,
+    register_topology,
+)
+
+PAPER = NocConfig(mesh_cols=6, mesh_rows=4)
+RING8 = NocConfig(mesh_cols=8, mesh_rows=1, topology="ring")
+XBAR8 = NocConfig(mesh_cols=8, mesh_rows=1, topology="crossbar")
+CHIP16 = NocConfig(mesh_cols=2, mesh_rows=2, topology="chiplet", chiplets=4)
+
+ALL_CFGS = (PAPER, RING8, XBAR8, CHIP16)
+
+
+class TestRegistry:
+    def test_four_topologies_ship(self):
+        assert available_topologies() == ("chiplet", "crossbar", "mesh",
+                                          "ring")
+
+    def test_get_topology_resolves(self):
+        assert get_topology("mesh") is MeshTopology
+        assert get_topology("ring") is RingTopology
+        assert get_topology("crossbar") is CrossbarTopology
+        assert get_topology("chiplet") is ChipletTopology
+
+    def test_unknown_name_names_the_options(self):
+        with pytest.raises(KeyError, match="mesh"):
+            get_topology("torus")
+
+    def test_duplicate_registration_rejected(self):
+        class Dup(MeshTopology):
+            name = "mesh"
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_topology(Dup)
+
+    def test_nameless_registration_rejected(self):
+        class NoName(MeshTopology):
+            name = ""
+
+        with pytest.raises(ValueError, match="name"):
+            register_topology(NoName)
+
+    def test_build_topology_memoizes_per_config(self):
+        a = build_topology(NocConfig(mesh_cols=6, mesh_rows=4))
+        b = build_topology(NocConfig(mesh_cols=6, mesh_rows=4))
+        assert a is b
+        assert NocConfig().topo is a
+
+    def test_config_rejects_unknown_topology(self):
+        with pytest.raises(ValueError, match="registered"):
+            NocConfig(topology="hypercube")
+
+
+@pytest.mark.parametrize("cfg", ALL_CFGS,
+                         ids=lambda c: c.topology)
+class TestConformance:
+    """Route conformance shared by every registered topology."""
+
+    def test_validate_passes(self, cfg):
+        cfg.topo.validate()
+
+    def test_routes_minimal_and_connected(self, cfg):
+        topo = cfg.topo
+        n = topo.num_nodes
+        for src in range(n):
+            for dst in range(n):
+                path = topo.route(src, dst)
+                assert path[0] == src and path[-1] == dst
+                assert len(path) - 1 == topo.hops(src, dst)
+                assert len(set(path)) == len(path)
+                for a, b in zip(path, path[1:]):
+                    assert topo.hops(a, b) == 1
+
+    def test_hops_symmetric(self, cfg):
+        topo = cfg.topo
+        n = topo.num_nodes
+        for src in range(n):
+            for dst in range(n):
+                assert topo.hops(src, dst) == topo.hops(dst, src)
+
+    def test_router_traversals_include_injection(self, cfg):
+        topo = cfg.topo
+        assert topo.route_routers(0, 0) == 1
+        assert topo.route_routers(0, 1) == topo.hops(0, 1) + 1
+
+    def test_directories_inside_topology(self, cfg):
+        assert cfg.directory_nodes
+        for d in cfg.directory_nodes:
+            assert 0 <= d < cfg.num_nodes
+
+    def test_mean_directory_hops_matches_definition(self, cfg):
+        topo = cfg.topo
+        dirs = cfg.directory_nodes
+        n = topo.num_nodes
+        want = sum(topo.hops(s, d) for s in range(n)
+                   for d in dirs) / (n * len(dirs))
+        assert topo.mean_directory_hops() == pytest.approx(want)
+
+    def test_summary_names_the_shape(self, cfg):
+        assert "Directory Controllers" in cfg.topo.summary()
+
+
+class TestMeshByteIdentity:
+    """The default mesh must reproduce the historic NocConfig arithmetic."""
+
+    def test_default_directories_are_table1_corners(self):
+        assert PAPER.directory_nodes == (0, 5, 18, 23)
+
+    def test_coords(self):
+        topo = PAPER.topo
+        assert topo.coords(0) == (0, 0)
+        assert topo.coords(5) == (5, 0)
+        assert topo.coords(23) == (5, 3)
+
+    def test_hops_manhattan(self):
+        topo = PAPER.topo
+        assert topo.hops(0, 0) == 0
+        assert topo.hops(0, 23) == 8
+        assert topo.hops(5, 18) == 8
+
+    def test_message_latency_unchanged(self):
+        # the historic model: hops * (router + link) + (flits - 1)
+        assert PAPER.message_latency(0, 23, 8) == 8 * 2
+        assert PAPER.message_latency(0, 23, 72) == 8 * 2 + (5 - 1)
+        assert PAPER.message_latency(7, 7, 8) == PAPER.router_latency
+
+    def test_xy_route_order(self):
+        assert PAPER.topo.route(0, 23) == [0, 1, 2, 3, 4, 5, 11, 17, 23]
+
+    def test_table1_summary_string_unchanged(self):
+        assert PAPER.topo.summary() == (
+            "6x4 Mesh, XY Routing, 1-cycle router, 1-cycle link, "
+            "4 Directory Controllers at Mesh Corners"
+        )
+
+    def test_out_of_range_node_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            PAPER.topo.coords(24)
+
+
+class TestRing:
+    def test_wraparound_hops(self):
+        topo = RING8.topo
+        assert topo.hops(0, 7) == 1
+        assert topo.hops(0, 4) == 4
+        assert topo.hops(1, 6) == 3
+
+    def test_shorter_direction_route(self):
+        topo = RING8.topo
+        assert topo.route(0, 7) == [0, 7]
+        assert topo.route(0, 2) == [0, 1, 2]
+
+    def test_tie_goes_clockwise(self):
+        assert RING8.topo.route(0, 4) == [0, 1, 2, 3, 4]
+
+    def test_default_directories_spread(self):
+        assert RING8.directory_nodes == (0, 2, 4, 6)
+
+
+class TestCrossbar:
+    def test_single_hop_everywhere(self):
+        topo = XBAR8.topo
+        assert topo.hops(0, 0) == 0
+        assert all(topo.hops(0, d) == 1 for d in range(1, 8))
+        assert topo.route(3, 6) == [3, 6]
+
+    def test_flat_latency(self):
+        assert XBAR8.message_latency(0, 7, 8) == \
+            XBAR8.message_latency(3, 4, 8)
+
+
+class TestChiplet:
+    def test_geometry(self):
+        topo = CHIP16.topo
+        assert CHIP16.num_nodes == 16
+        assert topo.chiplet_of(0) == 0
+        assert topo.chiplet_of(7) == 1
+        assert [topo.gateway(c) for c in range(4)] == [0, 4, 8, 12]
+
+    def test_directory_slice_per_chiplet(self):
+        assert CHIP16.directory_nodes == (0, 4, 8, 12)
+
+    def test_cross_chiplet_routes_via_gateways(self):
+        topo = CHIP16.topo
+        # node 3 is (1,1) of chiplet 0; node 5 is (1,0) of chiplet 1:
+        # 2 local hops to gateway 0, the die crossing, 1 hop from gw 4
+        assert topo.hops(3, 5) == 4
+        assert topo.route(3, 5) == [3, 2, 0, 4, 5]
+
+    def test_die_crossing_costs_chiplet_link_latency(self):
+        topo = CHIP16.topo
+        assert topo.link_latency(0, 1) == CHIP16.link_latency
+        assert topo.link_latency(0, 4) == CHIP16.chiplet_link_latency
+        # 3 local hops at (router+link) + the crossing's router + link
+        assert topo.path_latency(3, 5) == 3 * 2 + 1 + 4
+
+    def test_cross_chiplet_slower_than_local(self):
+        # same hop count, different links: 1->2 is 2 local hops; 0->5 is
+        # the crossing plus one local hop
+        local = CHIP16.message_latency(1, 2, 8)
+        cross = CHIP16.message_latency(0, 5, 8)
+        assert CHIP16.topo.hops(1, 2) == CHIP16.topo.hops(0, 5) == 2
+        assert cross > local
+
+    def test_single_die_topologies_reject_chiplets(self):
+        with pytest.raises(ValueError, match="single-die"):
+            NocConfig(topology="mesh", chiplets=2)
+
+    def test_chiplet_needs_at_least_two_dies(self):
+        with pytest.raises(ValueError, match="chiplets >= 2"):
+            NocConfig(mesh_cols=2, mesh_rows=2, topology="chiplet")
+
+    def test_crossing_cannot_beat_on_die_link(self):
+        with pytest.raises(ValueError, match="cannot be faster"):
+            NocConfig(mesh_cols=2, mesh_rows=2, topology="chiplet",
+                      chiplets=2, link_latency=2, chiplet_link_latency=1)
+
+
+class TestValidationSampling:
+    """Satellite: validate() is exhaustive at paper scale, sampled above."""
+
+    def test_paper_scale_is_exhaustive(self):
+        topo = PAPER.topo
+        nodes = topo._validate_nodes(VALIDATE_SAMPLE_LIMIT, seed=0)
+        assert nodes == list(range(24))
+
+    def test_large_topology_samples(self):
+        cfg = noc_for_topology("ring", 256)
+        nodes = cfg.topo._validate_nodes(VALIDATE_SAMPLE_LIMIT, seed=0)
+        assert len(nodes) < 256
+        assert 0 in nodes and 255 in nodes
+        assert set(cfg.directory_nodes) <= set(nodes)
+
+    def test_sampling_is_seeded_and_deterministic(self):
+        cfg = noc_for_topology("ring", 256)
+        a = cfg.topo._validate_nodes(VALIDATE_SAMPLE_LIMIT, seed=7)
+        b = cfg.topo._validate_nodes(VALIDATE_SAMPLE_LIMIT, seed=7)
+        c = cfg.topo._validate_nodes(VALIDATE_SAMPLE_LIMIT, seed=8)
+        assert a == b
+        assert a != c
+
+    @pytest.mark.parametrize("name", ["mesh", "ring", "crossbar", "chiplet"])
+    def test_256_core_topologies_validate(self, name):
+        noc_for_topology(name, 256).topo.validate()
+
+
+class TestHomeDirectoryInterleave:
+    """Satellite: block interleaving under non-corner placements."""
+
+    def test_chiplet_slices_interleave_round_robin(self):
+        homes = [CHIP16.home_directory(b * 64, 64) for b in range(8)]
+        assert homes == [0, 4, 8, 12, 0, 4, 8, 12]
+
+    def test_ring_adjacent_placement(self):
+        cfg = NocConfig(mesh_cols=8, mesh_rows=1, topology="ring",
+                        directory_nodes=(2, 3))
+        homes = [cfg.home_directory(b * 64, 64) for b in range(4)]
+        assert homes == [2, 3, 2, 3]
+
+    def test_every_directory_gets_blocks(self):
+        for cfg in ALL_CFGS:
+            homes = {cfg.home_directory(b * 64, 64)
+                     for b in range(4 * len(cfg.directory_nodes))}
+            assert homes == set(cfg.directory_nodes)
+
+    def test_directory_node_outside_topology_rejected(self):
+        with pytest.raises(ValueError, match="'ring'"):
+            NocConfig(mesh_cols=8, mesh_rows=1, topology="ring",
+                      directory_nodes=(8,))
+
+    def test_empty_directory_set_is_a_clear_error(self):
+        """A topology that provides no default placement must make
+        home_directory fail by name, not by ZeroDivisionError."""
+
+        @register_topology
+        class _NullDir(CrossbarTopology):
+            name = "nulldir"
+
+            @classmethod
+            def default_directory_nodes(cls, cfg):
+                return ()
+
+        try:
+            cfg = NocConfig(mesh_cols=4, mesh_rows=1, topology="nulldir")
+            assert cfg.directory_nodes == ()
+            with pytest.raises(ValueError, match="'nulldir'"):
+                cfg.home_directory(0, 64)
+            with pytest.raises(ValueError, match="no directory nodes"):
+                SimConfig(num_cores=4, noc=cfg).home_directory(0)
+        finally:
+            T._REGISTRY.pop("nulldir")
+
+
+class TestNocForTopology:
+    def test_default_mesh_is_the_paper_machine(self):
+        assert noc_for_topology("mesh", 24) == NocConfig()
+        assert noc_for_topology("mesh", 4) == NocConfig()
+
+    def test_large_mesh_grows_squareish(self):
+        cfg = noc_for_topology("mesh", 64)
+        assert (cfg.mesh_cols, cfg.mesh_rows) == (8, 8)
+        cfg = noc_for_topology("mesh", 128)
+        assert cfg.num_nodes >= 128
+
+    def test_linear_topologies_get_one_node_per_core(self):
+        assert noc_for_topology("ring", 64).num_nodes == 64
+        assert noc_for_topology("crossbar", 64).num_nodes == 64
+
+    def test_chiplet_splits_over_four_dies(self):
+        cfg = noc_for_topology("chiplet", 64)
+        assert cfg.chiplets == 4
+        assert (cfg.mesh_cols, cfg.mesh_rows) == (4, 4)
+        assert cfg.directory_nodes == (0, 16, 32, 48)
+
+    def test_unknown_name_raises_the_registry_error(self):
+        with pytest.raises(ValueError, match="registered"):
+            noc_for_topology("torus", 24)
+
+    def test_distance_ordering_matches_intuition(self):
+        # at 64 cores: crossbar < chiplet < mesh < ring directory distance
+        dist = {name: noc_for_topology(name, 64).topo.mean_directory_hops()
+                for name in available_topologies()}
+        assert dist["crossbar"] < dist["chiplet"]
+        assert dist["chiplet"] < dist["mesh"] < dist["ring"]
+
+
+class TestAbstractBase:
+    def test_topology_is_abstract(self):
+        with pytest.raises(TypeError):
+            Topology(PAPER)  # type: ignore[abstract]

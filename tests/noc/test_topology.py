@@ -1,51 +1,108 @@
-"""Unit + property tests for mesh topology and XY routing."""
+"""Mesh routing through the topology layer, plus the legacy-module shims.
+
+The property tests that used to drive ``repro.noc.topology`` directly
+now go through ``NocConfig.topo``; the legacy module functions survive
+as deprecation shims and are pinned here to warn exactly once per call,
+naming their replacement.
+"""
+import warnings
+
+import pytest
 from hypothesis import given, strategies as st
 
 from repro.common.config import NocConfig
-from repro.noc.topology import route_routers, validate_topology, xy_route
+from repro.noc import topology as legacy
 
 PAPER = NocConfig(mesh_cols=6, mesh_rows=4)
+TOPO = PAPER.topo
 
 
 class TestXYRoute:
     def test_self_route(self):
-        assert xy_route(PAPER, 7, 7) == [7]
+        assert TOPO.route(7, 7) == [7]
 
     def test_straight_line(self):
-        assert xy_route(PAPER, 0, 3) == [0, 1, 2, 3]
+        assert TOPO.route(0, 3) == [0, 1, 2, 3]
 
     def test_x_then_y(self):
         # 0 is (0,0); 23 is (5,3): route goes across row 0 then down col 5
-        path = xy_route(PAPER, 0, 23)
-        assert path == [0, 1, 2, 3, 4, 5, 11, 17, 23]
+        assert TOPO.route(0, 23) == [0, 1, 2, 3, 4, 5, 11, 17, 23]
 
     def test_route_length_is_hops(self):
         for src in range(PAPER.num_nodes):
             for dst in range(PAPER.num_nodes):
-                assert len(xy_route(PAPER, src, dst)) - 1 == PAPER.hops(src, dst)
+                assert len(TOPO.route(src, dst)) - 1 == TOPO.hops(src, dst)
 
     def test_validate_paper_topology(self):
-        validate_topology(PAPER)
+        TOPO.validate()
 
     def test_router_traversals_include_injection(self):
-        assert route_routers(PAPER, 0, 0) == 1
-        assert route_routers(PAPER, 0, 1) == 2
+        assert TOPO.route_routers(0, 0) == 1
+        assert TOPO.route_routers(0, 1) == 2
 
     @given(
         cols=st.integers(min_value=1, max_value=8),
         rows=st.integers(min_value=1, max_value=8),
     )
     def test_any_mesh_validates(self, cols, rows):
-        validate_topology(NocConfig(mesh_cols=cols, mesh_rows=rows))
+        NocConfig(mesh_cols=cols, mesh_rows=rows).topo.validate()
 
     @given(st.integers(min_value=0, max_value=23),
            st.integers(min_value=0, max_value=23))
     def test_route_endpoints(self, src, dst):
-        path = xy_route(PAPER, src, dst)
+        path = TOPO.route(src, dst)
         assert path[0] == src and path[-1] == dst
         assert len(set(path)) == len(path)  # no loops
 
     @given(st.integers(min_value=0, max_value=23),
            st.integers(min_value=0, max_value=23))
     def test_hops_symmetric(self, src, dst):
-        assert PAPER.hops(src, dst) == PAPER.hops(dst, src)
+        assert TOPO.hops(src, dst) == TOPO.hops(dst, src)
+
+
+def _single_warning(calls):
+    """Run a callable, assert exactly one DeprecationWarning, return it."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = calls()
+    deps = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(deps) == 1, [str(w.message) for w in caught]
+    return result, str(deps[0].message)
+
+
+class TestLegacyModuleShims:
+    """Each retired spelling warns exactly once, naming its replacement."""
+
+    def test_xy_route_shim(self):
+        path, msg = _single_warning(lambda: legacy.xy_route(PAPER, 0, 23))
+        assert path == TOPO.route(0, 23)
+        assert "NocConfig.topo.route" in msg
+
+    def test_route_routers_shim(self):
+        n, msg = _single_warning(lambda: legacy.route_routers(PAPER, 0, 1))
+        assert n == 2
+        assert "NocConfig.topo.route_routers" in msg
+
+    def test_validate_topology_shim(self):
+        _, msg = _single_warning(lambda: legacy.validate_topology(PAPER))
+        assert "NocConfig.topo.validate" in msg
+
+    def test_nocconfig_coords_shim(self):
+        xy, msg = _single_warning(lambda: PAPER.coords(23))
+        assert xy == (5, 3)
+        assert "NocConfig.topo.coords" in msg
+
+    def test_nocconfig_hops_shim(self):
+        h, msg = _single_warning(lambda: PAPER.hops(0, 23))
+        assert h == 8
+        assert "NocConfig.topo.hops" in msg
+
+    def test_nocconfig_corner_nodes_shim(self):
+        corners, msg = _single_warning(PAPER.corner_nodes)
+        assert corners == (0, 5, 18, 23)
+        assert "default_directory_nodes" in msg
+
+    def test_shims_delegate_beyond_the_mesh(self):
+        ring = NocConfig(mesh_cols=8, mesh_rows=1, topology="ring")
+        with pytest.warns(DeprecationWarning):
+            assert legacy.xy_route(ring, 0, 7) == [0, 7]

@@ -34,6 +34,7 @@ KEY_BENCHES = (
     "l1_hit_path_ghostwriter",
     "sweep_wall_clock_batch",
     "noc_route_chiplet",
+    "checkpoint_roundtrip",
 )
 
 DEFAULT_MAX_DROP = 0.25

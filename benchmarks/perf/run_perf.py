@@ -321,6 +321,47 @@ def bench_noc_route_chiplet(n: int):
     return thunk, 3 * rounds * len(pairs)
 
 
+def bench_checkpoint_roundtrip(n: int):
+    """Factory: one whole-machine capture -> restore round trip
+    (``repro.sim.state.MachineCheckpoint``) on a warmed 2-core machine —
+    the unit of work the batch backend's fork-at-divergence pays per
+    forked representative, and the CLI pays per recorder window."""
+    from repro.common.config import small_config
+    from repro.isa.compiled import ProgramCache, ProgramSpec
+    from repro.isa.instructions import Compute, Load, SetAprx, Store
+    from repro.sim.machine import Machine
+    from repro.sim.state import MachineCheckpoint
+
+    cfg = small_config(num_cores=2)
+    cache = ProgramCache()
+
+    def factory_for(cid: int):
+        def prog():
+            yield SetAprx(4)
+            for i in range(32):
+                yield Store(0x8000 + 4 * (4 + cid), (cid << 10) | i)
+                yield Load(0x8000 + 4 * (4 + (cid ^ 1)))
+                yield Compute(20)
+        return prog
+
+    def build() -> Machine:
+        m = Machine(cfg)
+        for cid in range(2):
+            m.add_thread(cid, ProgramSpec(factory_for(cid),
+                                          key=("bench_ckpt", cid),
+                                          cache=cache))
+        return m
+
+    src = build()
+    src.run()  # a finished machine is trivially at a safe point
+    dst = build()
+
+    def thunk() -> None:
+        for _ in range(n):
+            MachineCheckpoint.capture(src).restore_into(dst)
+    return thunk, n
+
+
 def bench_event_bus_emit(n: int):
     """Raw EventBus fan-out with one subscriber (the tracing fast path)."""
     from repro.obs.events import Event, EventBus, EventKind
@@ -368,6 +409,7 @@ BENCHMARKS: list[tuple[str, Callable, int, int]] = [
     ("sweep_wall_clock", bench_sweep_wall_clock, 32, 4),
     ("sweep_wall_clock_batch", bench_sweep_wall_clock_batch, 32, 4),
     ("noc_route_chiplet", bench_noc_route_chiplet, 40_000, 4_096),
+    ("checkpoint_roundtrip", bench_checkpoint_roundtrip, 200, 4),
     ("event_bus_emit", bench_event_bus_emit, 200_000, 500),
     ("workload_obs_tracing", bench_workload_obs_tracing, 1024, 96),
     # protocol dimension: the policy-indirection pair (pure L1 hit loop,

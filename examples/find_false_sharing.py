@@ -28,7 +28,7 @@ def main() -> None:
                       n_points=1024, max_value=7)
     machine = Machine(cfg)
     workload.build(machine)
-    snapshot = machine.backing.snapshot()
+    snapshot = machine.backing.memory_image()
     recorder = TraceRecorder(machine)
     machine.run()
     machine.check_quiescent()

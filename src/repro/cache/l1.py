@@ -40,7 +40,7 @@ from repro.common.types import AccessType, CoherenceState, MessageType
 from repro.noc.network import Network
 from repro.obs.events import Event, EventKind
 from repro.scribe.scribe_unit import ScribeUnit
-from repro.sim.engine import Engine
+from repro.sim.engine import CheckpointUnsupported, Engine
 
 __all__ = ["L1Controller"]
 
@@ -523,7 +523,10 @@ class L1Controller:
         self._gi_blocks.add(block)
         if not self._gi_timer_armed:
             self._gi_timer_armed = True
-            self.engine.schedule(self.gw.gi_timeout, self._gi_timeout_fire)
+            self.engine.schedule_tagged(
+                self.gw.gi_timeout, self._gi_timeout_fire,
+                ("gi_timer", self.node),
+            )
 
     def _gi_timeout_fire(self) -> None:
         """Periodic controller timeout: flash-invalidate all GI blocks."""
@@ -880,7 +883,60 @@ class L1Controller:
         """True when no transactions or writebacks are outstanding."""
         return self.mshrs.outstanding() == 0 and not self._wb_buffer
 
-    def wb_buffer_snapshot(self) -> dict[int, int]:
+    def wb_buffer_occupancy(self) -> dict[int, int]:
         """Blocks parked in the write-back buffer -> entry count (for the
         watchdog's diagnostic dump and the invariant monitor's skip set)."""
         return {block: len(q) for block, q in self._wb_buffer.items()}
+
+    def wb_buffer_snapshot(self) -> dict[int, int]:
+        """Deprecated alias of :meth:`wb_buffer_occupancy` — "snapshot"
+        now refers to the restorable checkpoint layer."""
+        import warnings
+
+        warnings.warn(
+            "L1Controller.wb_buffer_snapshot() is deprecated; use "
+            "wb_buffer_occupancy() (or MachineCheckpoint for restorable "
+            "state)", DeprecationWarning, stacklevel=2,
+        )
+        return self.wb_buffer_occupancy()
+
+    # ------------------------------------------------------------------
+    # checkpoint layer
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Restorable controller state.
+
+        Requires :meth:`quiescent` for the MSHR file (entries hold
+        ``on_complete`` closures that cannot round-trip); the write-back
+        buffer *is* captured — its entries are plain data, and though a
+        checkpoint safe point implies it is empty, snapshotting it keeps
+        this method honest for direct unit-test use.
+        """
+        if self.mshrs.outstanding():
+            raise CheckpointUnsupported(
+                f"L1 {self.node} has outstanding MSHRs; snapshot requires "
+                "a quiescent controller"
+            )
+        return {
+            "array": self.array.snapshot(),
+            "wb_buffer": {
+                block: [(list(e.words), e.dirty) for e in q]
+                for block, q in self._wb_buffer.items()
+            },
+            "gi_blocks": sorted(self._gi_blocks),
+            "gi_timer_armed": self._gi_timer_armed,
+            "scribe": self.scribe.snapshot(),
+        }
+
+    def restore(self, blob: dict) -> None:
+        """Adopt :meth:`snapshot` state.  The GI timer *event* (if armed)
+        is rebuilt by the engine restore; this only restores the flag."""
+        self.array.restore(blob["array"])
+        self._wb_buffer = {
+            block: deque(_WbEntry(list(words), dirty)
+                         for words, dirty in entries)
+            for block, entries in blob["wb_buffer"].items()
+        }
+        self._gi_blocks = set(blob["gi_blocks"])
+        self._gi_timer_armed = blob["gi_timer_armed"]
+        self.scribe.restore(blob["scribe"])

@@ -110,5 +110,15 @@ class L2Slice:
         """Number of valid lines currently resident."""
         return self.array.occupancy()
 
+    # -- checkpoint layer ---------------------------------------------
+    def snapshot(self) -> dict:
+        """Restorable slice state (the array holds everything: tags,
+        words, and the dirty bit in each line's ``state`` slot)."""
+        return {"array": self.array.snapshot()}
+
+    def restore(self, blob: dict) -> None:
+        """Adopt :meth:`snapshot` state."""
+        self.array.restore(blob["array"])
+
     def _line(self, block_addr: int) -> CacheLine | None:
         return self.array.lookup(block_addr, touch=False)

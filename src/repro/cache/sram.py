@@ -173,6 +173,39 @@ class CacheArray:
         line.tag = block_addr
         self._plru[idx].touch(ways.index(line))
 
+    # -- checkpoint layer ---------------------------------------------
+    def snapshot(self) -> dict:
+        """Full placement state: every materialized set's lines (tag,
+        state, words, pinned, aux) *and* its PLRU bits — way order and
+        replacement history round-trip exactly, so a restored run makes
+        bit-identical victim choices."""
+        sets = []
+        for idx, ways in enumerate(self._sets):
+            if ways is None:
+                continue
+            lines = [
+                (ln.tag, ln.state,
+                 None if ln.words is None else list(ln.words),
+                 ln.pinned, ln.aux)
+                for ln in ways
+            ]
+            sets.append((idx, lines, list(self._plru[idx].bits)))
+        return {"sets": sets}
+
+    def restore(self, blob: dict) -> None:
+        """Adopt :meth:`snapshot` state (unlisted sets dematerialize)."""
+        self._sets = [None] * self.cfg.num_sets
+        self._plru = [None] * self.cfg.num_sets
+        for idx, lines, bits in blob["sets"]:
+            ways = self._ways(idx)
+            self._plru[idx].bits = list(bits)
+            for ln, (tag, state, words, pinned, aux) in zip(ways, lines):
+                ln.tag = tag
+                ln.state = state
+                ln.words = None if words is None else list(words)
+                ln.pinned = pinned
+                ln.aux = aux
+
     # -- iteration / introspection ------------------------------------
     def iter_lines(self) -> Iterator[CacheLine]:
         """Every materialized line, in set-major order.

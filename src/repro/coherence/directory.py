@@ -36,7 +36,7 @@ from repro.mem.backing import BackingStore
 from repro.mem.dram import Dram
 from repro.noc.network import Network
 from repro.obs.events import Event, EventKind
-from repro.sim.engine import Engine
+from repro.sim.engine import CheckpointUnsupported, Engine
 
 __all__ = ["DirectoryAgent", "DirEntry"]
 
@@ -536,9 +536,51 @@ class DirectoryAgent:
         """True when no transaction is active or queued on any block."""
         return all(not e.busy and not e.pending for e in self._entries.values())
 
-    def entries_snapshot(self) -> dict[int, DirEntry]:
+    def entries_view(self) -> dict[int, DirEntry]:
         """Shallow copy of the entry map (for invariant checking)."""
         return dict(self._entries)
+
+    def entries_snapshot(self) -> dict[int, DirEntry]:
+        """Deprecated alias of :meth:`entries_view` — "snapshot" now
+        refers to the restorable checkpoint layer."""
+        import warnings
+
+        warnings.warn(
+            "DirectoryAgent.entries_snapshot() is deprecated; use "
+            "entries_view() (or MachineCheckpoint for restorable state)",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.entries_view()
+
+    # ------------------------------------------------------------------
+    # checkpoint layer
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Restorable directory state: every entry's stable triple
+        (state, owner, sorted sharers).  Requires :meth:`quiescent` —
+        busy entries hold transaction closures that cannot round-trip."""
+        if not self.quiescent():
+            raise CheckpointUnsupported(
+                f"directory {self.node} has active/queued transactions; "
+                "snapshot requires a quiescent agent"
+            )
+        return {
+            "entries": {
+                block: (e.state, e.owner, sorted(e.sharers))
+                for block, e in self._entries.items()
+            },
+        }
+
+    def restore(self, blob: dict) -> None:
+        """Adopt :meth:`snapshot` state (all entries idle)."""
+        entries: dict[int, DirEntry] = {}
+        for block, (state, owner, sharers) in blob["entries"].items():
+            e = DirEntry()
+            e.state = state
+            e.owner = owner
+            e.sharers = set(sharers)
+            entries[block] = e
+        self._entries = entries
 
     def busy_entries(self) -> dict[int, DirEntry]:
         """Blocks with an active or queued transaction (for the watchdog

@@ -288,6 +288,13 @@ class VerifyConfig:
     watchdog_interval: int = 0
     #: Consecutive no-progress intervals tolerated before raising.
     watchdog_stalls: int = 2
+    #: Cycle period of the machine checkpoint recorder; 0 disables it.
+    #: When enabled, ``Machine.run`` steps the event queue in
+    #: period-sized windows and captures a restorable
+    #: :class:`repro.sim.state.MachineCheckpoint` at every safe
+    #: boundary (all events tagged, network empty, L1s/directories
+    #: quiescent); unsafe boundaries are skipped, never fatal.
+    checkpoint_period: int = 0
 
     def __post_init__(self) -> None:
         if self.monitor_period < 0:
@@ -296,6 +303,8 @@ class VerifyConfig:
             raise ValueError("watchdog interval cannot be negative")
         if self.watchdog_stalls < 1:
             raise ValueError("watchdog stall threshold must be >= 1")
+        if self.checkpoint_period < 0:
+            raise ValueError("checkpoint period cannot be negative")
 
 
 @dataclass(frozen=True, slots=True)

@@ -150,6 +150,46 @@ class StatGroup:
         for name, kid in other._children.items():
             self.child(name).merge(kid)
 
+    # -- checkpoint layer ---------------------------------------------
+    def snapshot(self) -> dict:
+        """Deep restorable copy of the whole tree (histograms included)."""
+        values: dict[str, Any] = {}
+        for key, val in self._values.items():
+            values[key] = (
+                ("__hist__", dict(val.counts))
+                if isinstance(val, HistogramStat) else val
+            )
+        return {
+            "values": values,
+            "children": {name: kid.snapshot()
+                         for name, kid in self._children.items()},
+        }
+
+    def restore(self, blob: dict) -> None:
+        """Adopt :meth:`snapshot` state **in place**.
+
+        Components bind the live ``_values`` dict (:meth:`counters`) and
+        histogram ``counts`` objects at construction, so restore mutates
+        the existing containers rather than replacing them — every
+        hot-path binding stays valid across a restore.
+        """
+        values = self._values
+        hists = {k: v for k, v in values.items()
+                 if isinstance(v, HistogramStat)}
+        values.clear()
+        for key, val in blob["values"].items():
+            if isinstance(val, tuple) and len(val) == 2 and val[0] == "__hist__":
+                h = hists.get(key)
+                if h is None:
+                    h = HistogramStat()
+                h.counts.clear()
+                h.counts.update(val[1])
+                values[key] = h
+            else:
+                values[key] = val
+        for name, kid_blob in blob["children"].items():
+            self.child(name).restore(kid_blob)
+
     def total(self, key: str) -> float:
         """Sum of a counter across this group and all descendants."""
         tot = self._values.get(key, 0) or 0

@@ -38,7 +38,7 @@ from repro.isa.compiled import (
     CompiledProgram, ProgramRecorder, ProgramSpec, replay_to_completion,
     resync_generator,
 )
-from repro.sim.engine import Engine
+from repro.sim.engine import CheckpointUnsupported, Engine
 
 __all__ = ["Core", "ThreadProgram"]
 
@@ -50,6 +50,28 @@ _PRAGMA_COST = 1  # cycles charged for setaprx/endaprx/region pragmas
 _LOAD = AccessType.LOAD
 _STORE = AccessType.STORE
 _SCRIBBLE = AccessType.SCRIBBLE
+
+
+def _prog_blob(prog: CompiledProgram) -> dict:
+    """Picklable column form of a compiled program (checkpoint layer)."""
+    return {
+        "op": prog.op, "addr": prog.addr, "value": prog.value,
+        "cycles": prog.cycles, "objs": dict(prog.objs),
+        "ranges": dict(prog.ranges), "validate": prog.validate_loads,
+    }
+
+
+def _prog_from_blob(blob: dict) -> CompiledProgram:
+    """Rebuild a compiled program from :func:`_prog_blob` columns.
+
+    Columns are copied so checkpoint consumers (the batch backend's
+    fork-at-divergence substitution) may mutate them freely without
+    aliasing the cached program."""
+    return CompiledProgram(
+        blob["op"].copy(), blob["addr"].copy(), blob["value"].copy(),
+        blob["cycles"].copy(), dict(blob["objs"]), dict(blob["ranges"]),
+        validate_loads=blob["validate"],
+    )
 
 
 class Core:
@@ -87,6 +109,10 @@ class Core:
             "stall_cycles",
         )
         self._sync_tables = sync_tables
+        # restorable identity of this core's self-reschedule events
+        # (start and quantum yields) — see repro.sim.state
+        self._step_tag = ("core_step", cid)
+        self._deopted = False
         # program-form resolution (see module docstring)
         self.program: Iterator | None = None
         self._compiled: CompiledProgram | None = None
@@ -162,7 +188,7 @@ class Core:
                 )
             self._needs_replay = False
             self.program = self._spec_factory()
-        self.engine.schedule(0, self._step)
+        self.engine.schedule_tagged(0, self._step, self._step_tag)
 
     def _resume_with(self, value: int | None) -> None:
         """Continuation for miss completion / sync wakeup."""
@@ -190,6 +216,7 @@ class Core:
         self.program = gen
         self._compiled = None
         self._needs_replay = False
+        self._deopted = True
         self._pending_send = actual
 
     def _finish(self, elapsed: int) -> None:
@@ -207,6 +234,131 @@ class Core:
             self._recorder = None
             if rec.cacheable:
                 self._spec_cache.put(self._spec_key, rec.finalize())
+
+    # ------------------------------------------------------------------
+    # checkpoint layer (see repro.sim.state)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Restorable execution state, capturable at safe points only
+        (no outstanding load — implied by empty MSHRs).
+
+        Three shapes round-trip: pristine compiled execution (columns +
+        pc; the restored run replays side effects at finish), recorder-
+        mode generator execution (recorded prefix + count; the restored
+        run resynchronizes a fresh generator through it), and a finished
+        core with a replayable recording.  A deoptimized or plain-
+        generator core raises :class:`CheckpointUnsupported` — its
+        continuation lives in an opaque generator frame."""
+        if self._awaiting_load:
+            raise CheckpointUnsupported(
+                f"core {self.cid} has an outstanding load"
+            )
+        if self._spec_factory is None:
+            raise CheckpointUnsupported(
+                f"core {self.cid} has no program factory for replay"
+            )
+        base = {
+            "started": self._started,
+            "pending_send": self._pending_send,
+            "blocked_since": self._blocked_since,
+            "blocked_op": self.blocked_op,
+            "approx": self.approx.snapshot(),
+        }
+        if self.done:
+            prog = None if self._deopted else self._compiled
+            if (prog is None and not self._deopted
+                    and self._spec_cache is not None
+                    and self._spec_key is not None):
+                prog = self._spec_cache.get(self._spec_key)
+            if prog is None:
+                raise CheckpointUnsupported(
+                    f"finished core {self.cid} has no replayable recording"
+                )
+            base.update(mode="done", finish_cycle=self.finish_cycle,
+                        prog=_prog_blob(prog))
+            return base
+        if self._compiled is not None:
+            base.update(mode="compiled", cpc=self._cpc,
+                        needs_replay=self._needs_replay,
+                        prog=_prog_blob(self._compiled))
+            return base
+        rec = self._recorder
+        if rec is not None:
+            base.update(
+                mode="recorded",
+                ops=list(rec.ops), addrs=list(rec.addrs),
+                vals=list(rec.vals), cycs=list(rec.cycs),
+                objs=dict(rec.objs), ranges=dict(rec.ranges),
+                cacheable=rec.cacheable, last_load=rec._last_load,
+            )
+            return base
+        raise CheckpointUnsupported(
+            f"core {self.cid} is deoptimized or runs a plain generator"
+        )
+
+    def restore(self, blob: dict) -> None:
+        """Adopt :meth:`snapshot` state.  The core must come from the
+        same deterministic workload build: ``_spec_factory`` supplies
+        the generators for replay/deoptimization and the machine's sync
+        tables resolve the recorded handles."""
+        if self._spec_factory is None:
+            raise CheckpointUnsupported(
+                f"core {self.cid} has no program factory to restore into"
+            )
+        self._started = blob["started"]
+        self._pending_send = blob["pending_send"]
+        self._blocked_since = blob["blocked_since"]
+        self.blocked_op = blob["blocked_op"]
+        self.approx.restore(blob["approx"])
+        self._awaiting_load = False
+        self._deopted = False
+        self._recorder = None
+        mode = blob["mode"]
+        if mode == "done":
+            self.done = True
+            self.finish_cycle = blob["finish_cycle"]
+            self.program = None
+            self._compiled = None
+            self._needs_replay = False
+            # the interrupted run already replayed (or live-executed)
+            # the program's side effects — but into *its* workload
+            # instance; redo the value-driven pass into this one
+            replay_to_completion(self._spec_factory,
+                                 _prog_from_blob(blob["prog"]))
+            return
+        self.done = False
+        self.finish_cycle = None
+        if mode == "compiled":
+            if not self._bind_compiled(_prog_from_blob(blob["prog"])):
+                raise CheckpointUnsupported(
+                    f"core {self.cid}: checkpointed sync handles do not "
+                    "resolve against this machine"
+                )
+            self.program = None
+            self._cpc = blob["cpc"]
+            self._needs_replay = blob["needs_replay"]
+            return
+        if mode == "recorded":
+            rec = ProgramRecorder(self._sync_tables)
+            rec.ops = list(blob["ops"])
+            rec.addrs = list(blob["addrs"])
+            rec.vals = list(blob["vals"])
+            rec.cycs = list(blob["cycs"])
+            rec.objs = dict(blob["objs"])
+            rec.ranges = dict(blob["ranges"])
+            rec.cacheable = blob["cacheable"]
+            rec._last_load = blob["last_load"]
+            prefix = rec.finalize()
+            self.program = resync_generator(self._spec_factory, prefix,
+                                            len(rec.ops))
+            self._recorder = rec
+            self._compiled = None
+            self._needs_replay = False
+            self._cpc = 0
+            self._ops, self._addrs, self._vals = [], [], []
+            self._cycs, self._objs = [], {}
+            return
+        raise ValueError(f"unknown core snapshot mode {mode!r}")
 
     # ------------------------------------------------------------------
     def _step(self) -> None:
@@ -287,7 +439,7 @@ class Core:
                     self._blocked_since = engine.now
                     self.blocked_op = "BARRIER_WAIT"
                     self._cpc = pc + 1
-                    objs[pc].arrive(self._wake)
+                    objs[pc].arrive(self._wake, self.cid)
                     st["barrier_waits"] += 1
                     return
                 if opc == 5:  # ACQUIRE
@@ -332,7 +484,7 @@ class Core:
                 # and falls through to the generator loop below)
                 self._cpc = pc
                 st["quantum_yields"] += 1
-                engine.schedule(elapsed, self._step)
+                engine.schedule_tagged(elapsed, self._step, self._step_tag)
                 return
 
         program = self.program
@@ -392,7 +544,7 @@ class Core:
                 self.blocked_op = "BARRIER_WAIT"
                 if rec is not None:
                     rec.record_sync(4, op.barrier)
-                op.barrier.arrive(lambda: self._resume_with(None))
+                op.barrier.arrive(lambda: self._resume_with(None), self.cid)
                 st["barrier_waits"] += 1
                 return
             if cls is isa.Acquire:
@@ -442,4 +594,4 @@ class Core:
 
         # quantum exhausted: let other events interleave
         st["quantum_yields"] += 1
-        engine.schedule(elapsed, self._step)
+        engine.schedule_tagged(elapsed, self._step, self._step_tag)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
-from repro.sim.engine import Engine
+from repro.sim.engine import CheckpointUnsupported, Engine
 
 __all__ = ["Barrier", "Lock"]
 
@@ -29,24 +29,47 @@ class Barrier:
             raise ValueError("barrier needs at least one party")
         self.engine = engine
         self.parties = parties
-        self._waiting: list[Callable[[], None]] = []
+        #: blocked arrivals as (resume, owner) — owner is the arriving
+        #: core id (None for anonymous callers), which is what lets a
+        #: checkpoint rebuild the waiter list against a fresh machine
+        self._waiting: list[tuple[Callable[[], None], int | None]] = []
         self.generation = 0
 
-    def arrive(self, resume: Callable[[], None]) -> None:
+    def arrive(self, resume: Callable[[], None],
+               owner: int | None = None) -> None:
         """Register arrival; ``resume`` fires when the last party arrives."""
-        self._waiting.append(resume)
+        self._waiting.append((resume, owner))
         if len(self._waiting) > self.parties:
             raise RuntimeError("more arrivals than barrier parties")
         if len(self._waiting) == self.parties:
             waiters, self._waiting = self._waiting, []
             self.generation += 1
-            for cb in waiters:
+            for cb, _ in waiters:
                 self.engine.schedule(_WAKE_LATENCY, cb)
 
     @property
     def waiting(self) -> int:
         """Number of parties currently blocked."""
         return len(self._waiting)
+
+    # -- checkpoint layer ---------------------------------------------
+    def snapshot(self) -> dict:
+        """Restorable state: generation count plus blocked owner ids
+        (arrival order preserved — release order determines wake seq)."""
+        for _, owner in self._waiting:
+            if owner is None:
+                raise CheckpointUnsupported(
+                    "barrier has an anonymous waiter (no owner id)"
+                )
+        return {"generation": self.generation,
+                "waiting": [owner for _, owner in self._waiting]}
+
+    def restore(self, blob: dict,
+                wake_for: Callable[[int], Callable[[], None]]) -> None:
+        """Rebuild waiters; ``wake_for(owner)`` supplies each resume."""
+        self.generation = blob["generation"]
+        self._waiting = [(wake_for(owner), owner)
+                         for owner in blob["waiting"]]
 
 
 class Lock:
@@ -88,3 +111,18 @@ class Lock:
     def held(self) -> bool:
         """True while some core holds the lock."""
         return self._held
+
+    # -- checkpoint layer ---------------------------------------------
+    def snapshot(self) -> dict:
+        """Restorable state: holder plus queued acquirers (FIFO order)."""
+        return {"held": self._held, "owner": self.owner,
+                "queue": [holder for holder, _ in self._queue]}
+
+    def restore(self, blob: dict,
+                wake_for: Callable[[int], Callable[[], None]]) -> None:
+        """Rebuild the queue; ``wake_for(holder)`` supplies each resume."""
+        self._held = blob["held"]
+        self.owner = blob["owner"]
+        self._queue = deque(
+            (holder, wake_for(holder)) for holder in blob["queue"]
+        )

@@ -55,7 +55,22 @@ class FaultInjector:
         if self.cfg.msg_rate or self.cfg.delay_jitter:
             self.machine.network.fault_hook = self._on_message
         if self.cfg.cache_rate:
-            self.machine.engine.schedule(_FLIP_PERIOD, self._flip_lottery)
+            self.machine.engine.schedule_tagged(
+                _FLIP_PERIOD, self._flip_lottery, ("flip_lottery",)
+            )
+
+    # ------------------------------------------------------------------
+    # checkpoint layer
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Restorable injector state: the RNG stream and the fault log
+        (so a restored run draws the *same* remaining random sequence)."""
+        return {"rng": self.rng.getstate(), "log": list(self.log)}
+
+    def restore(self, blob: dict) -> None:
+        """Adopt :meth:`snapshot` state."""
+        self.rng.setstate(blob["rng"])
+        self.log = list(blob["log"])
 
     # ------------------------------------------------------------------
     # cache-resident upsets
@@ -69,7 +84,9 @@ class FaultInjector:
         # queue instead would let two periodic services (e.g. monitor +
         # fault lottery) keep each other alive forever
         if any(c is not None and not c.done for c in self.machine.cores):
-            self.machine.engine.schedule(_FLIP_PERIOD, self._flip_lottery)
+            self.machine.engine.schedule_tagged(
+                _FLIP_PERIOD, self._flip_lottery, ("flip_lottery",)
+            )
 
     def inject_cache_flip(self) -> tuple[int, int, int] | None:
         """Flip bits in one random resident L1 word.

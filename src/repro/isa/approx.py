@@ -68,3 +68,14 @@ class ApproxManager:
     def active_ranges(self) -> list[tuple[int, int]]:
         """Copy of the currently annotated ranges."""
         return list(self._ranges)
+
+    # -- checkpoint layer ---------------------------------------------
+    def snapshot(self) -> dict:
+        """Restorable state (the hot-range memo is pure cache)."""
+        return {"ranges": list(self._ranges), "enabled": self.enabled}
+
+    def restore(self, blob: dict) -> None:
+        """Adopt :meth:`snapshot` state."""
+        self._ranges = [tuple(r) for r in blob["ranges"]]
+        self.enabled = blob["enabled"]
+        self._hot = None

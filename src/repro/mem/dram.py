@@ -46,6 +46,15 @@ class Dram:
         self.stats.reads += 1
         self._access(block_addr, done)
 
+    # -- checkpoint layer ---------------------------------------------
+    def snapshot(self) -> dict:
+        """Restorable timing state: per-bank busy horizons."""
+        return {"bank_free_at": list(self._bank_free_at)}
+
+    def restore(self, blob: dict) -> None:
+        """Adopt :meth:`snapshot` state."""
+        self._bank_free_at = list(blob["bank_free_at"])
+
     def write(self, block_addr: int, done: Callable[[], None] | None = None) -> None:
         """Schedule a block writeback; ``done`` is optional (posted write)."""
         self.stats.writes += 1

@@ -148,6 +148,30 @@ class Network:
         """Block addresses with at least one undelivered message."""
         return {m.block_addr for m in self._in_flight.values()}
 
+    # -- checkpoint layer --------------------------------------------------
+    def snapshot(self) -> dict:
+        """Restorable transport state: the per-class message counters.
+
+        Requires an empty wire — an undelivered :class:`Message`'s
+        ``deliver`` closure cannot round-trip, so checkpoints are only
+        taken when nothing is in flight."""
+        from repro.sim.engine import CheckpointUnsupported
+
+        if self._in_flight:
+            raise CheckpointUnsupported(
+                f"{len(self._in_flight)} message(s) in flight; snapshot "
+                "requires an empty network"
+            )
+        return {"class_counts": {k.value: n
+                                 for k, n in self._class_counts.items()}}
+
+    def restore(self, blob: dict) -> None:
+        """Adopt :meth:`snapshot` state (the route memo is pure cache)."""
+        counts = blob["class_counts"]
+        self._class_counts = {klass: counts[klass.value]
+                              for klass in MessageClass}
+        self._in_flight = {}
+
     # -- reporting ---------------------------------------------------------
     def class_counts(self) -> dict[MessageClass, int]:
         """Per-class message counts (the Fig. 8 breakdown)."""

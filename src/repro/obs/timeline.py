@@ -143,12 +143,23 @@ class MetricsTimeline:
     # -- scheduling ----------------------------------------------------
     def start(self) -> None:
         """Arm the periodic sampler (called by ``Machine.run``)."""
-        self.machine.engine.schedule(self.interval, self._fire)
+        self.machine.engine.schedule_tagged(self.interval, self._fire,
+                                            ("timeline",))
 
     def _fire(self) -> None:
         self.sample()
         if any(c is not None and not c.done for c in self.machine.cores):
-            self.machine.engine.schedule(self.interval, self._fire)
+            self.machine.engine.schedule_tagged(self.interval, self._fire,
+                                                ("timeline",))
+
+    # -- checkpoint layer ----------------------------------------------
+    def snapshot(self) -> dict:
+        """Restorable sampler state: the rows collected so far."""
+        return {"rows": [dict(r) for r in self._rows]}
+
+    def restore(self, blob: dict) -> None:
+        """Adopt :meth:`snapshot` state."""
+        self._rows = [dict(r) for r in blob["rows"]]
 
     def finish(self) -> None:
         """Take the end-of-run sample (skipped if one just fired)."""

@@ -58,8 +58,9 @@ class ScribeUnit:
         self.bus = None
         #: decision-trace probe (repro.sim.batch): a list that records
         #: every comparator decision as
-        #: ``(write_word, block_word, programmed_d, line_state, ok)``;
-        #: None keeps the hot path to a single attribute check
+        #: ``(write_word, block_word, programmed_d, line_state, ok, cycle)``
+        #: (cycle is -1 when no engine is attached); None keeps the hot
+        #: path to a single attribute check
         self.probe = None
 
     # -- setaprx / endaprx --------------------------------------------
@@ -101,7 +102,8 @@ class ScribeUnit:
         self._counters["passes" if ok else "fails"] += 1
         if self.probe is not None:
             self.probe.append(
-                (write_word, block_word, self.d_distance, state, ok)
+                (write_word, block_word, self.d_distance, state, ok,
+                 self.engine.now if self.engine is not None else -1)
             )
         bus = self.bus
         if bus is not None:
@@ -112,3 +114,15 @@ class ScribeUnit:
                 ((write_word ^ block_word) & WORD_MASK).bit_length(),
             ))
         return ok
+
+    # -- checkpoint layer ---------------------------------------------
+    def snapshot(self) -> dict:
+        """Restorable comparator state (the mask is derived; the stats
+        live in the machine's StatGroup tree and restore there)."""
+        return {"d_distance": self.d_distance, "enabled": self.enabled}
+
+    def restore(self, blob: dict) -> None:
+        """Adopt :meth:`snapshot` state without counting a reprogram."""
+        self.d_distance = blob["d_distance"]
+        self._mask = similarity_mask(self.d_distance)
+        self.enabled = blob["enabled"]

@@ -75,7 +75,9 @@ def probe_hook(records: list):
     machines constructed while the context is active.
 
     Each comparator decision appends
-    ``(write_word, block_word, programmed_d, line_state, ok)``.
+    ``(write_word, block_word, programmed_d, line_state, ok, cycle)``
+    (older 5-tuple producers without the cycle stamp remain accepted —
+    their records simply carry no fork anchor).
     """
     def attach(machine) -> None:
         for l1 in machine.l1s:
@@ -97,7 +99,7 @@ class DecisionTrace:
     """
 
     __slots__ = ("mode", "n_checks", "write_words", "block_words",
-                 "states", "ok", "_cache")
+                 "states", "ok", "cycles", "_cache")
 
     def __init__(self, records: Iterable[tuple], swept_d: int,
                  mode: str = "bitwise") -> None:
@@ -106,17 +108,22 @@ class DecisionTrace:
         records = list(records)
         self.mode = mode
         self.n_checks = len(records)
-        swept = [(w, b, s, ok) for (w, b, p, s, ok) in records
-                 if p == swept_d]
+        # records are 6-tuples (..., cycle) from the live probe, or
+        # legacy 5-tuples; a missing/unknown cycle becomes -1, which
+        # divergence_cycle treats as "no fork anchor"
+        swept = [r for r in records if r[2] == swept_d]
         n = len(swept)
         self.write_words = np.fromiter(
             (r[0] & 0xFFFFFFFF for r in swept), dtype=np.uint32, count=n)
         self.block_words = np.fromiter(
             (r[1] & 0xFFFFFFFF for r in swept), dtype=np.uint32, count=n)
         self.states = np.fromiter(
-            (STATE_CODES.get(r[2], -1) for r in swept), dtype=np.int8,
+            (STATE_CODES.get(r[3], -1) for r in swept), dtype=np.int8,
             count=n)
-        self.ok = np.fromiter((r[3] for r in swept), dtype=bool, count=n)
+        self.ok = np.fromiter((r[4] for r in swept), dtype=bool, count=n)
+        self.cycles = np.fromiter(
+            (r[5] if len(r) > 5 else -1 for r in swept), dtype=np.int64,
+            count=n)
         self._cache: dict[int, np.ndarray] = {}
 
     def __len__(self) -> int:
@@ -150,6 +157,23 @@ class DecisionTrace:
         comparator decision the representative made."""
         return bool(np.array_equal(self.decisions(d), self.ok))
 
+    def divergence_cycle(self, d: int) -> int | None:
+        """Cycle of the *first* comparator decision threshold ``d``
+        decides differently than the representative did, or ``None``
+        when the lane agrees everywhere.
+
+        Every decision strictly before this cycle is provably identical
+        under ``d`` — the fork-at-divergence anchor: a checkpoint taken
+        before it is a valid starting state for the lane.  Returns
+        ``-1`` when the first divergent record carries no cycle stamp
+        (legacy 5-tuple probe) — callers must treat that as
+        "unanchorable", not as cycle −1.
+        """
+        diff = self.decisions(d) != self.ok
+        if not diff.any():
+            return None
+        return int(self.cycles[int(np.argmax(diff))])
+
 
 @dataclass(frozen=True, slots=True)
 class Lane:
@@ -169,11 +193,18 @@ class Lane:
 @dataclass(frozen=True, slots=True)
 class RepRun:
     """A finished representative run: the reusable result, the config it
-    ran under, and its decision trace."""
+    ran under, and its decision trace.
+
+    ``checkpoints`` (a :class:`repro.sim.state.CheckpointRecorder`) and
+    ``records`` (the raw probe tuples) are optional fork-at-divergence
+    material — absent, peeled lanes always fall back to serial runs.
+    """
 
     result: Any          # repro.workloads.base.WorkloadResult (or similar)
     cfg: Any             # SimConfig
     trace: DecisionTrace
+    checkpoints: Any = None   # CheckpointRecorder of the rep's machine
+    records: Any = None       # raw probe records (6-tuples)
 
 
 def gi_never_armed(stats) -> bool:
@@ -212,7 +243,8 @@ def share_split(trace: DecisionTrace, rep: Lane, lanes: Iterable[Lane], *,
 
 
 def run_group(lanes: Iterable[Lane],
-              run_rep: Callable[[Lane], Any]
+              run_rep: Callable[[Lane], Any], *,
+              fork: Callable[[Lane, RepRun, Lane], Any] | None = None
               ) -> Iterator[tuple[Lane, Any, list[Lane]]]:
     """The recursive representative loop over one lockstep group.
 
@@ -223,19 +255,36 @@ def run_group(lanes: Iterable[Lane],
     some representative's ``shared`` list.  Lanes that fail the sharing
     predicate peel back into the pool and seed the next iteration — the
     lane-level deoptimization.
+
+    ``fork(prev_rep, prev_out, lane)`` — when given — accelerates the
+    peel recursion: each round after the first may run its
+    representative by *forking* the previous representative at the
+    point their decisions first diverge (resuming from a checkpoint
+    instead of re-simulating the common prefix).  A non-``None`` return
+    must be that lane's finished outcome — a full :class:`RepRun`
+    (prefix-seeded trace included) lets the forked run serve as the
+    round's representative and share with its own equivalence class;
+    any other outcome is yielded for the lane directly.  ``None`` falls
+    back to ``run_rep`` as before.
     """
     remaining = list(lanes)
+    prev: tuple[Lane, RepRun] | None = None
     while remaining:
         rep, rest = remaining[0], remaining[1:]
-        out = run_rep(rep)
+        out = None
+        if fork is not None and prev is not None:
+            out = fork(prev[0], prev[1], rep)
+        if out is None:
+            out = run_rep(rep)
         if not isinstance(out, RepRun):
             yield rep, out, []
             remaining = rest
             continue
         armed = not gi_never_armed(out.result.stats)
         shared, remaining = share_split(out.trace, rep, rest,
-                                        rep_armed_gi=armed)
+                                       rep_armed_gi=armed)
         yield rep, out, shared
+        prev = (rep, out)
 
 
 def classify_divergence(trace: DecisionTrace, d: int,

@@ -13,16 +13,31 @@ from __future__ import annotations
 import heapq
 from typing import Callable
 
-__all__ = ["Engine", "SimulationTimeout", "SimulationError"]
+__all__ = ["Engine", "SimulationTimeout", "SimulationError",
+           "CheckpointUnsupported"]
 
 
 class SimulationError(RuntimeError):
-    """Generic fatal simulator condition."""
+    """Generic fatal simulator condition.
+
+    When the failing machine had a checkpoint recorder attached,
+    ``Machine.run`` sets :attr:`checkpoint` to the most recent
+    :class:`~repro.sim.state.MachineCheckpoint` before re-raising, so
+    the failure window can be replayed from just before it."""
+
+    checkpoint = None
 
 
 class SimulationTimeout(SimulationError):
     """The event queue outlived ``max_cycles`` — almost always a protocol
     deadlock or a thread program that never finishes."""
+
+
+class CheckpointUnsupported(SimulationError):
+    """The machine is not at a state the checkpoint layer can capture —
+    e.g. the event queue holds an untagged closure (an in-flight
+    coherence transaction's continuation).  Callers treat this as "not a
+    safe point" and try again later, never as a fatal error."""
 
 
 class Engine:
@@ -56,6 +71,85 @@ class Engine:
                 f"past (current cycle is {self.now})"
             )
         self.schedule(cycle - self.now, callback)
+
+    # -- tagged scheduling (checkpoint layer) -------------------------
+    # Tagged events carry a picklable identity alongside the callback so
+    # the queue can round-trip through a checkpoint: snapshot() stores
+    # (cycle, seq, tag), restore() re-binds each tag to a fresh callback.
+    # Kept as separate methods (a 4th tuple element, not a kwarg on
+    # schedule()) so the untagged hot path stays byte-identical; mixed
+    # 3-/4-tuples coexist safely in the heap because seq is unique and
+    # tuple comparison never reaches the callback slot.
+
+    def schedule_tagged(self, delay: int, callback: Callable[[], None],
+                        tag: tuple) -> None:
+        """:meth:`schedule`, with a restorable identity for ``callback``."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue,
+                       (self.now + delay, self._seq, callback, tag))
+
+    def schedule_at_tagged(self, cycle: int, callback: Callable[[], None],
+                           tag: tuple) -> None:
+        """:meth:`schedule_at`, with a restorable identity."""
+        if cycle < self.now:
+            raise ValueError(
+                f"cannot schedule at absolute cycle {cycle}: it is in the "
+                f"past (current cycle is {self.now})"
+            )
+        self.schedule_tagged(cycle - self.now, callback, tag)
+
+    def all_tagged(self) -> bool:
+        """True when every queued event carries a restorable tag."""
+        return all(len(ev) == 4 for ev in self._queue)
+
+    def snapshot(self) -> dict:
+        """Restorable queue state: clock, seq counter, tagged events.
+
+        Raises :class:`CheckpointUnsupported` if any queued event is an
+        anonymous closure (untagged) — those are in-flight transaction
+        continuations the checkpoint layer cannot rebuild.
+        """
+        events = []
+        for ev in sorted(self._queue):
+            if len(ev) != 4:
+                raise CheckpointUnsupported(
+                    f"untagged event at cycle {ev[0]} (seq {ev[1]}): "
+                    "not a checkpointable safe point"
+                )
+            events.append((ev[0], ev[1], ev[3]))
+        return {
+            "now": self.now,
+            "seq": self._seq,
+            "events_executed": self.events_executed,
+            "events": events,
+        }
+
+    def restore(self, blob: dict, resolve: Callable[[tuple], Callable]) -> None:
+        """Rebuild the queue from :meth:`snapshot` output.
+
+        ``resolve(tag)`` maps each event tag back to a live callback
+        bound to the restoring machine.  Stale events — recorded cycle
+        before the snapshot clock — are rejected deterministically with
+        ``ValueError`` (the same contract as :meth:`schedule_at`), so a
+        corrupted or hand-edited checkpoint fails loudly instead of
+        replaying an event into the past.
+        """
+        now = blob["now"]
+        events = []
+        for cycle, seq, tag in blob["events"]:
+            if cycle < now:
+                raise ValueError(
+                    f"cannot restore event {tag!r} at absolute cycle "
+                    f"{cycle}: it is in the past (checkpoint clock is {now})"
+                )
+            events.append((cycle, seq, resolve(tag), tag))
+        self.now = now
+        self._seq = blob["seq"]
+        self.events_executed = blob["events_executed"]
+        self._queue = events
+        heapq.heapify(self._queue)
 
     def pending(self) -> int:
         """Number of events still queued."""
@@ -121,7 +215,8 @@ class Engine:
                 msg += f"\n(timeout hook failed: {exc!r})"
         return msg
 
-    def run_until(self, cycle: int, max_events: int | None = None) -> int:
+    def run_until(self, cycle: int, max_events: int | None = None, *,
+                  advance_clock: bool = True) -> int:
         """Execute events up to and including ``cycle``; later events stay
         queued.  Useful for stepping tests through protocol epochs.
 
@@ -132,6 +227,12 @@ class Engine:
         ``timeout_hook`` context) when exceeded — insurance against a
         zero-delay self-rescheduling loop that would otherwise spin
         forever inside one cycle.
+
+        ``advance_clock=False`` leaves ``now`` at the last executed
+        event's cycle instead of forcing it to ``cycle`` — the checkpoint
+        recorder steps the run this way so an interrupted run's final
+        clock (and every checkpoint stamp) matches the uninterrupted
+        run bit for bit.
         """
         if self._running:
             raise SimulationError("Engine.run_until() is not re-entrant")
@@ -152,7 +253,7 @@ class Engine:
                             f"run_until exceeded {max_events} events"
                         ))
                     pop(queue)[2]()
-            if self.now < cycle:
+            if advance_clock and self.now < cycle:
                 self.now = cycle
         finally:
             self.events_executed = executed

@@ -33,7 +33,8 @@ from repro.noc.network import Network
 from repro.obs.events import EventBus, EventRecorder, FlightRecorder
 from repro.obs.timeline import MetricsTimeline
 from repro.sim.engine import Engine, SimulationError
-from repro.verify.monitor import InvariantMonitor, check_block_structure
+from repro.verify.monitor import (InvariantMonitor, InvariantViolation,
+                                  check_block_structure)
 from repro.verify.watchdog import ProgressWatchdog, diagnostic_dump
 
 __all__ = ["Machine", "machine_hook"]
@@ -146,6 +147,14 @@ class Machine:
                 bus.subscribe(self.flight.record)
         if obs.timeline_interval:
             self.timeline = MetricsTimeline(self, obs.timeline_interval)
+        # checkpoint layer (off by default; see VerifyConfig)
+        self.checkpoint_recorder = None
+        if cfg.verify.checkpoint_period:
+            from repro.sim.state import CheckpointRecorder  # avoid cycle
+
+            self.checkpoint_recorder = CheckpointRecorder(
+                cfg.verify.checkpoint_period
+            )
         self._ran = False
         for hook in _CONSTRUCTION_HOOKS:
             hook(self)
@@ -238,6 +247,11 @@ class Machine:
 
         Returns the cycle at which the last event executed.  Raises if a
         core never finished (protocol deadlock or malformed program).
+        With ``cfg.verify.checkpoint_period`` set, the queue is drained
+        in period-sized windows and a :class:`~repro.sim.state.
+        MachineCheckpoint` is captured at every safe window boundary;
+        fatal simulation errors then carry the most recent checkpoint on
+        their ``.checkpoint`` attribute.
         """
         if self._ran:
             raise SimulationError("Machine.run() may only be called once")
@@ -256,7 +270,73 @@ class Machine:
             self.timeline.start()
         for core in active:
             core.start()
-        end = self.engine.run(max_cycles=max_cycles)
+        try:
+            end = self._drain(max_cycles)
+            return self._finalize(active, end)
+        except (SimulationError, InvariantViolation) as exc:
+            self._attach_checkpoint(exc)
+            raise
+
+    def resume(self, max_cycles: int = 500_000_000) -> int:
+        """Drain the queue of a machine re-animated from a checkpoint.
+
+        The restored event queue already carries every pending service
+        and core-step event, so unlike :meth:`run` nothing is started —
+        execution simply continues from the checkpoint cycle.  Callable
+        exactly once, in place of :meth:`run`.
+        """
+        if self._ran:
+            raise SimulationError(
+                "Machine.resume() on a machine that already ran")
+        self._ran = True
+        active = [c for c in self.cores if c is not None]
+        if not active:
+            raise SimulationError("no thread programs bound")
+        self.engine.timeout_hook = self._timeout_context
+        try:
+            end = self._drain(max_cycles)
+            return self._finalize(active, end)
+        except (SimulationError, InvariantViolation) as exc:
+            self._attach_checkpoint(exc)
+            raise
+
+    #: after an unsafe window boundary, keep trying for this many more
+    #: cycle-batches before giving the window up — misses cluster, so a
+    #: safe point is often a handful of cycles past the boundary
+    _SAFE_POINT_SEARCH = 32
+
+    def _drain(self, max_cycles: int) -> int:
+        """Drain the event queue, checkpointing at safe window
+        boundaries when a recorder is attached.
+
+        Pausing between cycle batches never reorders events, so the
+        chunked drain is bit-identical to ``Engine.run`` — checkpoints
+        only change *where the simulator looks*, not what it executes.
+        """
+        rec = self.checkpoint_recorder
+        eng = self.engine
+        if rec is None:
+            return eng.run(max_cycles=max_cycles)
+        queue = eng._queue
+        while queue:
+            nxt = queue[0][0]
+            if nxt > max_cycles:
+                # delegate so the timeout message (and its diagnostics)
+                # is byte-identical to the unchunked path
+                return eng.run(max_cycles=max_cycles)
+            period = rec.period  # re-read: adaptive recorders grow it
+            cap = min(((nxt // period) + 1) * period, max_cycles)
+            eng.run_until(cap, advance_clock=False)
+            tries = self._SAFE_POINT_SEARCH
+            while queue and queue[0][0] <= max_cycles:
+                if rec.maybe_capture(self) is not None or tries == 0:
+                    break
+                tries -= 1
+                eng.run_until(queue[0][0], advance_clock=False)
+        return eng.now
+
+    def _finalize(self, active: list[Core], end: int) -> int:
+        """Post-drain bookkeeping shared by :meth:`run`/:meth:`resume`."""
         for core in active:
             if not core.done:
                 raise SimulationError(
@@ -268,6 +348,13 @@ class Machine:
         self.network.finalize_stats()
         self.stats.total_cycles = end
         return end
+
+    def _attach_checkpoint(self, exc: BaseException) -> None:
+        """Attach the most recent checkpoint to a fatal error (when a
+        recorder is armed and the error does not already carry one)."""
+        if (self.checkpoint_recorder is not None
+                and getattr(exc, "checkpoint", None) is None):
+            exc.checkpoint = self.checkpoint_recorder.latest()
 
     def _timeout_context(self) -> str:
         """Context appended to SimulationTimeout messages: per-core finish

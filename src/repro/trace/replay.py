@@ -37,9 +37,10 @@ def replay_trace(trace: Trace, cfg: SimConfig,
     """Replay ``trace`` on a machine built from ``cfg``.
 
     ``initial_memory`` (block addr -> words) seeds the backing store —
-    pass ``machine.backing.snapshot()`` taken *before* the recorded run
-    for value-faithful replay.  Returns the finished machine for stats
-    inspection.
+    pass ``machine.backing.memory_image()`` taken *before* the recorded
+    run (or the ``memory`` layer of a
+    :class:`~repro.sim.state.MachineCheckpoint` blob) for value-faithful
+    replay.  Returns the finished machine for stats inspection.
     """
     machine = Machine(cfg)
     if initial_memory:

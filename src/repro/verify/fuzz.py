@@ -279,20 +279,13 @@ BATCH_LANE_DS = (4, 6, 8, 12, 14)
 
 def _machine_fingerprint(machine: Machine) -> dict:
     """Complete observable state of a finished machine: every counter,
-    the backing-memory image, and each L1's canonical array snapshot
-    (:meth:`repro.cache.sram.CacheArray.state_arrays`)."""
-    from repro.coherence.transitions import STATE_CODES
+    the backing-memory image, and each L1's canonical array snapshot —
+    the checkpoint layer's :func:`~repro.sim.state.fingerprint_payload`,
+    which is the one definition of "observable state" shared by the
+    fuzzer, the round-trip tests, and ``MachineCheckpoint``."""
+    from repro.sim.state import fingerprint_payload
 
-    caches = []
-    for l1 in machine.l1s:
-        tags, states, words = l1.array.state_arrays(
-            lambda s: STATE_CODES.get(s, -1))
-        caches.append((tags.tobytes(), states.tobytes(), words.tobytes()))
-    return {
-        "stats": machine.stats.flatten(),
-        "memory": machine.backing.snapshot(),
-        "caches": caches,
-    }
+    return fingerprint_payload(machine)
 
 
 def run_trace_batch(trace: FuzzTrace, *, protocol: str = "ghostwriter",
@@ -425,8 +418,31 @@ def approx_drops(machine: Machine) -> int:
 def minimize_trace(trace: FuzzTrace, failing) -> FuzzTrace:
     """Deterministic ddmin-style shrink: greedily delete op chunks (then
     single ops, then empty cores) while ``failing(trace)`` stays True.
-    ``failing`` must be a pure predicate of the trace."""
-    if not failing(trace):
+    ``failing`` must be a pure predicate of the trace.
+
+    Verdicts are memoized on the candidate's canonical-JSON BLAKE2b
+    digest: the shrink loop revisits identical candidates whenever a
+    later pass re-derives an earlier deletion, and ``failing`` runs a
+    full (often multi-lane) simulation each time.  This is the
+    checkpoint-reuse analog scoped to ddmin — successive trims share
+    most of their simulated prefix, but safe-point alignment across
+    *different* programs is not generally possible, so the reuse is at
+    verdict granularity rather than machine-state granularity.
+    """
+    import hashlib
+
+    verdicts: dict[bytes, bool] = {}
+
+    def check(t: FuzzTrace) -> bool:
+        key = hashlib.blake2b(
+            json.dumps(t.to_json(), sort_keys=True).encode(),
+            digest_size=16,
+        ).digest()
+        if key not in verdicts:
+            verdicts[key] = bool(failing(t))
+        return verdicts[key]
+
+    if not check(trace):
         raise ValueError("minimize_trace needs a failing trace to start from")
 
     def with_ops(ops_lists) -> FuzzTrace:
@@ -443,7 +459,7 @@ def minimize_trace(trace: FuzzTrace, failing) -> FuzzTrace:
                 while start < len(current[cid]):
                     candidate = [list(o) for o in current]
                     del candidate[cid][start:start + chunk]
-                    if failing(with_ops(candidate)):
+                    if check(with_ops(candidate)):
                         current = candidate
                         shrunk = True
                     else:
@@ -457,7 +473,7 @@ def minimize_trace(trace: FuzzTrace, failing) -> FuzzTrace:
             num_cores=len(pruned),
             ops=tuple(tuple(o) for o in pruned),
         )
-        if failing(candidate):
+        if check(candidate):
             return candidate
     return with_ops(current)
 

@@ -41,7 +41,14 @@ __all__ = ["InvariantViolation", "GoldenMemory", "InvariantMonitor",
 
 class InvariantViolation(RuntimeError):
     """A runtime invariant failed (data-value mismatch under the abort
-    policy, or any structural violation found mid-run)."""
+    policy, or any structural violation found mid-run).
+
+    When the machine had a checkpoint recorder attached, ``Machine.run``
+    sets :attr:`checkpoint` to the most recent
+    :class:`~repro.sim.state.MachineCheckpoint` before re-raising, so
+    the violating window can be replayed from just before it."""
+
+    checkpoint = None
 
 
 def check_block_structure(machine, block: int,
@@ -120,6 +127,15 @@ class GoldenMemory:
             return self._backing.load_word(addr)
         return words[(addr - base) // 4]
 
+    # -- checkpoint layer ---------------------------------------------
+    def snapshot(self) -> dict:
+        """Deep copy of every committed block."""
+        return {"blocks": {b: list(w) for b, w in self._blocks.items()}}
+
+    def restore(self, blob: dict) -> None:
+        """Adopt :meth:`snapshot` state."""
+        self._blocks = {b: list(w) for b, w in blob["blocks"].items()}
+
 
 class InvariantMonitor:
     """Periodic in-flight invariant checker for one machine."""
@@ -142,7 +158,8 @@ class InvariantMonitor:
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Arm the periodic check (called by ``Machine.run``)."""
-        self.machine.engine.schedule(self.period, self._fire)
+        self.machine.engine.schedule_tagged(self.period, self._fire,
+                                            ("monitor",))
 
     def _fire(self) -> None:
         self.check()
@@ -150,7 +167,19 @@ class InvariantMonitor:
         # queue instead would let two periodic services (e.g. monitor +
         # fault lottery) keep each other alive forever
         if any(c is not None and not c.done for c in self.machine.cores):
-            self.machine.engine.schedule(self.period, self._fire)
+            self.machine.engine.schedule_tagged(self.period, self._fire,
+                                                ("monitor",))
+
+    # -- checkpoint layer ---------------------------------------------
+    def snapshot(self) -> dict:
+        """Restorable monitor state (counters live in the stats tree)."""
+        return {"golden": self.golden.snapshot(),
+                "violations": list(self.violations)}
+
+    def restore(self, blob: dict) -> None:
+        """Adopt :meth:`snapshot` state."""
+        self.golden.restore(blob["golden"])
+        self.violations = list(blob["violations"])
 
     # ------------------------------------------------------------------
     def check(self) -> None:
@@ -159,7 +188,7 @@ class InvariantMonitor:
         self.stats.checks += 1
         skip = m.network.blocks_in_flight()
         for l1 in m.l1s:
-            skip.update(l1.wb_buffer_snapshot())
+            skip.update(l1.wb_buffer_occupancy())
             for entry in l1.mshrs.entries():
                 skip.add(entry.block_addr)
         for agent in m.agents.values():

@@ -24,7 +24,16 @@ _MAX_DUMPED_MESSAGES = 24
 
 class DeadlockError(SimulationError):
     """No forward progress for the configured number of watchdog
-    intervals; the message carries the full diagnostic dump."""
+    intervals; the message carries the full diagnostic dump.
+
+    When the hung machine had a checkpoint recorder attached,
+    ``Machine.run`` sets :attr:`checkpoint` to the most recent
+    :class:`~repro.sim.state.MachineCheckpoint` before re-raising, so
+    the hang can be replayed from just before it wedged (the wedged
+    state itself is never a safe point — its event queue is full of
+    in-flight transaction closures)."""
+
+    checkpoint = None
 
 
 def diagnostic_dump(machine) -> str:
@@ -49,7 +58,7 @@ def diagnostic_dump(machine) -> str:
         out.append(f"core {core.cid}: {status}")
     for l1 in machine.l1s:
         entries = l1.mshrs.entries()
-        wb = l1.wb_buffer_snapshot()
+        wb = l1.wb_buffer_occupancy()
         if not entries and not wb:
             continue
         for e in entries:
@@ -103,7 +112,8 @@ class ProgressWatchdog:
 
     def start(self) -> None:
         """Arm the periodic poll (called by ``Machine.run``)."""
-        self.machine.engine.schedule(self.interval, self._fire)
+        self.machine.engine.schedule_tagged(self.interval, self._fire,
+                                            ("watchdog",))
 
     def _progress(self) -> tuple:
         cores = [c for c in self.machine.cores if c is not None]
@@ -124,7 +134,8 @@ class ProgressWatchdog:
             # while the retirement counters sit still
             self._stalls = 0
             self._last = snap
-            self.machine.engine.schedule(self.interval, self._fire)
+            self.machine.engine.schedule_tagged(self.interval, self._fire,
+                                                ("watchdog",))
             return
         if snap == self._last:
             self._stalls += 1
@@ -137,4 +148,15 @@ class ProgressWatchdog:
         else:
             self._stalls = 0
             self._last = snap
-        self.machine.engine.schedule(self.interval, self._fire)
+        self.machine.engine.schedule_tagged(self.interval, self._fire,
+                                            ("watchdog",))
+
+    # -- checkpoint layer ---------------------------------------------
+    def snapshot(self) -> dict:
+        """Restorable stall-tracking state."""
+        return {"last": self._last, "stalls": self._stalls}
+
+    def restore(self, blob: dict) -> None:
+        """Adopt :meth:`snapshot` state."""
+        self._last = blob["last"]
+        self._stalls = blob["stalls"]

@@ -133,8 +133,15 @@ class Workload(abc.ABC):
     # ------------------------------------------------------------------
     # one-stop runner
     # ------------------------------------------------------------------
-    def run(self, cfg: SimConfig, max_cycles: int = 500_000_000) -> WorkloadResult:
-        """Build a machine with ``cfg``, run to completion, bundle results."""
+    def prepare(self, cfg: SimConfig) -> Machine:
+        """Build a ready-to-run machine: validate, allocate, bind threads.
+
+        The first half of :meth:`run`, exposed separately so the
+        checkpoint layer can interpose between construction and
+        execution — the batch backend's fork path builds a machine this
+        way, restores a :class:`~repro.sim.state.MachineCheckpoint` into
+        it, and resumes instead of running from cycle 0.
+        """
         if cfg.num_cores < self.num_threads:
             raise ValueError(
                 f"{self.name}: {self.num_threads} threads > "
@@ -151,7 +158,10 @@ class Workload(abc.ABC):
         self.d_distance = cfg.ghostwriter.d_distance
         machine = Machine(cfg)
         self.build(machine)
-        machine.run(max_cycles=max_cycles)
+        return machine
+
+    def collect(self, machine: Machine, cfg: SimConfig) -> WorkloadResult:
+        """Bundle a finished machine's results (second half of :meth:`run`)."""
         if cfg.verify.check_invariants:
             machine.check_quiescent()
             machine.check_coherence_invariants()
@@ -160,3 +170,9 @@ class Workload(abc.ABC):
         # that, which must not count against the protocol
         cycles = max(machine.core_finish_cycles())
         return WorkloadResult(self, machine, cycles)
+
+    def run(self, cfg: SimConfig, max_cycles: int = 500_000_000) -> WorkloadResult:
+        """Build a machine with ``cfg``, run to completion, bundle results."""
+        machine = self.prepare(cfg)
+        machine.run(max_cycles=max_cycles)
+        return self.collect(machine, cfg)

@@ -1,0 +1,210 @@
+"""Fork-at-divergence batch peeling (harness.batch + sim.state).
+
+Peeled lanes become *forked representatives*: they resume from the
+previous representative's last safe-point checkpoint before the first
+divergent decision instead of re-simulating from cycle 0.  The contract
+under test is the batch backend's only promise — rows bit-identical to
+serial execution — plus the accounting (``BatchReport``) that proves
+the shortcut actually ran, and every fallback path that turns a missed
+fork back into a plain serial representative.
+
+Real workloads only quiesce at phase boundaries, so the probe workload
+here is built to fork deterministically at tiny scale: a pure-compute
+warm-up (regular safe points, no comparator decisions) followed by a
+false-sharing accumulate phase (d-sensitive decisions, i.e. the
+divergence) — anchors are guaranteed to predate the divergence.  The
+warm-up is long enough (relative to the whole run) that the anchor
+clears the ``FORK_MIN_FRACTION`` benefit gate.
+"""
+import dataclasses
+from functools import partial
+
+import pytest
+
+from repro.harness import batch as hb
+from repro.harness.parallel import GridPoint, _run_point
+from repro.isa.instructions import (
+    ApproxBegin, ApproxEnd, BarrierWait, Compute, FlushApprox, SetAprx,
+)
+from repro.sim.batch import Lane
+from repro.workloads import registry
+from repro.workloads.base import Workload
+
+D_VALUES = (1, 2, 4, 8, 16)
+
+
+class CkptProbe(Workload):
+    """Compute warm-up (safe points), then a packed-accumulator
+    false-sharing phase (late, d-sensitive divergence)."""
+
+    name = "ckpt_probe"
+    suite = "micro"
+    domain = "Test"
+    error_metric = "MPE"
+
+    def __init__(self, num_threads, d_distance=4, seed=12345, scale=1.0,
+                 n_points=256, warmup=40):
+        super().__init__(num_threads, d_distance, seed, scale)
+        self.n_points = self.scaled(n_points, minimum=num_threads)
+        self.warmup = warmup
+        self.input_desc = f"{self.n_points} ints, warmup {warmup}"
+        self.vals = self.rng.integers(0, 256, self.n_points)
+        self._collected = None
+
+    def reference_output(self):
+        return [int(self.vals[c.start:c.stop].sum())
+                for c in self.chunks(self.n_points)]
+
+    def collect_output(self):
+        if self._collected is None:
+            raise RuntimeError("run() has not completed")
+        return self._collected
+
+    def build(self, machine):
+        mem = self.make_memory(machine)
+        a = mem.alloc_i32(self.n_points, "a", pad_to_block=True,
+                          init=self.vals.tolist())
+        mem.block_gap()
+        total = mem.alloc_i32(self.num_threads, "total",
+                              init=[0] * self.num_threads)
+        barrier = machine.barrier(self.num_threads)
+        collected = [0] * self.num_threads
+        self._collected = collected
+        chunks = self.chunks(self.n_points)
+
+        def worker(tid):
+            yield SetAprx(self.d_distance)
+            for _ in range(self.warmup):
+                yield Compute(50)
+            yield ApproxBegin((total.byte_range(),))
+            for i in chunks[tid]:
+                av = yield from a.load(i)
+                yield Compute(2)
+                yield from total.add(tid, av)
+            yield ApproxEnd((total.byte_range(),))
+            yield BarrierWait(barrier)
+            if tid == 0:
+                yield FlushApprox()
+                for t in range(self.num_threads):
+                    collected[t] = yield from total.load(t)
+
+        for tid in range(self.num_threads):
+            self.bind_program(machine, tid, partial(worker, tid))
+
+
+@pytest.fixture(autouse=True)
+def _register(monkeypatch):
+    monkeypatch.setitem(registry.ALL_WORKLOADS, "ckpt_probe", CkptProbe)
+
+
+def _points(**extra):
+    return [GridPoint("ckpt_probe",
+                      dict(d_distance=d, seed=7, num_threads=4, **extra))
+            for d in D_VALUES]
+
+
+def _rows(outcomes):
+    rows = [(o.value if hasattr(o, "value") else o) for o in outcomes]
+    assert all(not isinstance(r, hb.GridFailure) for r in rows), rows
+    return [dataclasses.asdict(r) for r in rows]
+
+
+def test_forked_reps_bit_identical_to_serial():
+    pts = _points()
+    rpt = hb.BatchReport()
+    res = hb.batch_fan_out(pts, report=rpt)
+    assert rpt.forked >= 2, rpt
+    assert rpt.fork_verified == 1, rpt  # first fork serially cross-checked
+    assert rpt.reps == 1, rpt           # only one full representative ran
+    assert rpt.degraded == 0 and not rpt.divergences, rpt
+    assert _rows(res) == _rows([_run_point(p) for p in pts])
+
+
+def test_no_early_anchor_falls_back_to_serial():
+    # warmup=0 removes the quiescent prelude: the first divergent
+    # decision predates any safe-point checkpoint, so every fork is
+    # vetoed and peeling seeds fresh serial representatives
+    pts = _points(warmup=0)
+    rpt = hb.BatchReport()
+    res = hb.batch_fan_out(pts, report=rpt)
+    assert rpt.forked == 0, rpt
+    assert rpt.reps >= 2, rpt
+    assert _rows(res) == _rows([_run_point(p) for p in pts])
+
+
+def test_shallow_anchor_gated_by_min_fraction():
+    # warmup=10 leaves the last safe point at ~9% of the run: resuming
+    # there saves almost nothing, so the benefit gate must veto the
+    # fork (this is what keeps the sweep benches at baseline speed)
+    pts = _points(warmup=10)
+    rpt = hb.BatchReport()
+    res = hb.batch_fan_out(pts, report=rpt)
+    assert rpt.forked == 0, rpt
+    assert _rows(res) == _rows([_run_point(p) for p in pts])
+
+
+def test_zero_period_disables_forking(monkeypatch):
+    monkeypatch.setattr(hb, "FORK_CHECKPOINT_PERIOD", 0)
+    pts = _points()
+    rpt = hb.BatchReport()
+    res = hb.batch_fan_out(pts, report=rpt)
+    assert rpt.forked == 0 and rpt.fork_verified == 0, rpt
+    assert _rows(res) == _rows([_run_point(p) for p in pts])
+
+
+def test_fork_mismatch_degrades_group_to_serial(monkeypatch):
+    """Trust-but-verify backstop: a forked representative whose row
+    disagrees with the serial interpreter is discarded, the serial row
+    is emitted, and no later lane trusts a fork."""
+    orig = hb._fork_lane
+
+    def corrupted(point, rep_lane, out, lane):
+        forked = orig(point, rep_lane, out, lane)
+        if forked is not None:
+            forked.result.cycles += 1  # any row-visible corruption
+        return forked
+
+    monkeypatch.setattr(hb, "_fork_lane", corrupted)
+    pts = _points()
+    rpt = hb.BatchReport()
+    res = hb.batch_fan_out(pts, report=rpt)
+    assert rpt.forked == 0, rpt
+    assert any("fork cross-check mismatch" in why
+               for _, why in rpt.divergences), rpt
+    # results still exactly serial — the backstop never ships bad rows
+    assert _rows(res) == _rows([_run_point(p) for p in pts])
+
+
+def test_unstamped_record_vetoes_fork():
+    """A probe record without a cycle stamp cannot be placed relative
+    to the anchor: _fork_lane must refuse rather than guess."""
+    point = GridPoint("ckpt_probe",
+                      dict(d_distance=1, seed=7, num_threads=4))
+    out = hb._rep_run(point)
+    rep_lane = Lane(d=1, gi=1024, payload=0)
+    lane = Lane(d=4, gi=1024, payload=1)
+    lane_point = GridPoint("ckpt_probe",
+                           dict(d_distance=4, seed=7, num_threads=4))
+    assert hb._fork_lane(lane_point, rep_lane, out, lane) is not None
+
+    stripped = dataclasses.replace(out, records=[r[:5] for r in out.records])
+    assert hb._fork_lane(lane_point, rep_lane, out=stripped,
+                         lane=lane) is None
+
+    unstamped = dataclasses.replace(
+        out, records=[(r[0], r[1], r[2], r[3], r[4], -1)
+                      for r in out.records])
+    assert hb._fork_lane(lane_point, rep_lane, out=unstamped,
+                         lane=lane) is None
+
+
+def test_forked_rep_anchors_further_forks():
+    """Chained forks: the forked representative's grafted anchor (plus
+    its own recorder) lets the *next* peeled lane fork from it."""
+    pts = _points()
+    rpt = hb.BatchReport()
+    hb.batch_fan_out(pts, report=rpt)
+    # one full rep, every later equivalence class forked off the chain
+    assert rpt.reps == 1, rpt
+    assert rpt.forked + rpt.shared + rpt.fork_verified + rpt.reps \
+        >= len(pts) - rpt.degraded, rpt

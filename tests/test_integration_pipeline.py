@@ -24,7 +24,7 @@ def test_record_classify_replay_pipeline(tmp_path):
                max_value=7)
     m = Machine(cfg)
     w.build(m)
-    snap = m.backing.snapshot()
+    snap = m.backing.memory_image()
     rec = TraceRecorder(m)
     m.run()
     m.check_quiescent()

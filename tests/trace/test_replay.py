@@ -14,7 +14,7 @@ def _record(name="bad_dot_product", threads=4, **kw):
     w = create(name, num_threads=threads, n_points=192, **kw)
     m = Machine(cfg)
     w.build(m)
-    snapshot = m.backing.snapshot()
+    snapshot = m.backing.memory_image()
     rec = TraceRecorder(m)
     m.run()
     m.check_quiescent()

@@ -47,6 +47,13 @@ __all__ = ["L1Controller"]
 _S = CoherenceState
 _RETRY_DELAY = 4  # cycles between structural-stall retries
 
+#: stable states the hit-run fast lane may treat as resident: the lane's
+#: residency mirror tracks exactly the blocks whose next access *cannot*
+#: allocate, evict, or race a transient transaction.  I is excluded (a
+#: scribble on I may transition to GI); transient states are excluded by
+#: definition.
+_MIRROR_STATES = frozenset((_S.S, _S.E, _S.M, _S.O, _S.GS, _S.GI))
+
 
 class _WbEntry:
     """Evicted E/M block parked until the directory acks the PUT."""
@@ -101,6 +108,15 @@ class L1Controller:
             engine=engine,
         )
         self._wb_buffer: dict[int, deque[_WbEntry]] = {}
+        #: residency mirror (hit-run fast lane): block -> (line, set_idx,
+        #: way) for every line in a stable hit-capable state (see
+        #: ``_MIRROR_STATES``).  Maintained incrementally by
+        #: ``_set_state``/``_evict`` and rebuilt wholesale by
+        #: ``restore`` — never serialized.  A *missing* entry is always
+        #: safe (the lane falls back to scalar); a stale entry never
+        #: exists because every state change funnels through
+        #: ``_set_state`` and every eviction through ``_evict``.
+        self._mirror: dict[int, tuple[CacheLine, int, int]] = {}
         self._gi_blocks: set[int] = set()
         self._gi_timer_armed = False
         self._block_bytes = cfg.block_bytes
@@ -145,6 +161,14 @@ class L1Controller:
     def _set_state(self, line: CacheLine, new: CoherenceState, why: str) -> None:
         old = line.state
         line.state = new
+        tag = line.tag
+        if new in _MIRROR_STATES:
+            mirror = self._mirror
+            if tag not in mirror:
+                idx, way = self.array.position_of(line, tag)
+                mirror[tag] = (line, idx, way)
+        else:
+            self._mirror.pop(tag, None)
         if old is not new and old is not None:
             hook = self.transition_hook
             if hook is not None:
@@ -185,6 +209,8 @@ class L1Controller:
         addr: int,
         value: int | None,
         on_done: Callable[[int | None], None],
+        block: int | None = None,
+        off: int | None = None,
     ) -> tuple[bool, int | None]:
         """Perform one memory reference.
 
@@ -194,11 +220,19 @@ class L1Controller:
         ``on_done(load_value)`` when the transaction retires.  In-order
         cores issue at most one outstanding access, which the MSHR layout
         relies on.
+
+        ``block``/``off`` accept the address decomposition when the
+        caller already has it — the compiled interpreter passes the
+        per-op columns its :class:`~repro.isa.compiled.HitRunPlan`
+        precomputed, skipping the per-access shift/mask arithmetic.
         """
+        if block is None:
+            block = addr & ~self._off_mask
+            off = (addr & self._off_mask) >> self._word_shift
         bus = self.bus
         if bus is None or not bus.wants(EventKind.ACCESS):
-            return self._access(atype, addr, value, on_done)
-        hit, val = self._access(atype, addr, value, on_done)
+            return self._access(atype, addr, value, on_done, block, off)
+        hit, val = self._access(atype, addr, value, on_done, block, off)
         bus.emit(Event(
             self.engine.now, EventKind.ACCESS, self.node, addr,
             atype.value, "hit" if hit else "miss", value or 0,
@@ -211,9 +245,9 @@ class L1Controller:
         addr: int,
         value: int | None,
         on_done: Callable[[int | None], None],
+        block: int,
+        off: int,
     ) -> tuple[bool, int | None]:
-        block = self._block_base(addr)
-        off = self._word_off(addr)
         line = self.array.lookup(block)
         st = self._c
 
@@ -514,6 +548,7 @@ class L1Controller:
                     self.engine.now, EventKind.STATE, self.node, block,
                     f"{state.value}->I", "eviction",
                 ))
+        self._mirror.pop(block, None)
         line.clear()
 
     # ------------------------------------------------------------------
@@ -532,12 +567,15 @@ class L1Controller:
         """Periodic controller timeout: flash-invalidate all GI blocks."""
         self._gi_timer_armed = False
         blocks, self._gi_blocks = self._gi_blocks, set()
+        flashed = 0
         for block in blocks:
             line = self.array.lookup(block, touch=False)
             if line is not None and line.state is _S.GI:
                 self._set_state(line, _S.I, "GI timeout")
-                self.stats.gi_timeout_invalidations += 1
-                self.stats.approx_data_dropped += 1
+                flashed += 1
+        if flashed:
+            self.stats.bulk_add("gi_timeout_invalidations", flashed)
+            self.stats.bulk_add("approx_data_dropped", flashed)
         # a new timer is armed by the next GI entry
 
     # ------------------------------------------------------------------
@@ -847,13 +885,16 @@ class L1Controller:
         forfeited.  GS lines stay on the directory's sharer list, which is
         safe: a later INV to a non-holder is acknowledged unconditionally.
         """
+        flushed = 0
         for line in self.array.iter_valid():
             if line.state is _S.GS or line.state is _S.GI:
                 if line.state is _S.GI:
                     self._gi_blocks.discard(line.tag)
                 self._set_state(line, _S.I, "context-switch flush")
-                self.stats.approx_data_dropped += 1
-                self.stats.flush_invalidations += 1
+                flushed += 1
+        if flushed:
+            self.stats.bulk_add("approx_data_dropped", flushed)
+            self.stats.bulk_add("flush_invalidations", flushed)
 
     def set_approx(self, d_distance: int) -> None:
         """``setaprx``: program and enable the scribe comparator."""
@@ -940,3 +981,14 @@ class L1Controller:
         self._gi_blocks = set(blob["gi_blocks"])
         self._gi_timer_armed = blob["gi_timer_armed"]
         self.scribe.restore(blob["scribe"])
+        self._rebuild_mirror()
+
+    def _rebuild_mirror(self) -> None:
+        """Recompute the residency mirror from the canonical array (the
+        mirror is derived state and is never serialized)."""
+        mirror = self._mirror
+        mirror.clear()
+        for line in self.array.iter_valid():
+            if line.state in _MIRROR_STATES:
+                idx, way = self.array.position_of(line, line.tag)
+                mirror[line.tag] = (line, idx, way)

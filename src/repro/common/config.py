@@ -442,6 +442,17 @@ class SimConfig:
     #: the knob exists for the equivalence suite and for debugging with
     #: the plain generator interpreter.
     compile_programs: bool = True
+    #: Vectorized hit-run fast lane (repro.core.hitrun): execute whole
+    #: runs of guaranteed-L1-hit compiled ops as numpy kernels instead
+    #: of one scheduler event per op.  Bit-identical to the scalar path
+    #: by construction (the lane only merges complete pure-hit quanta
+    #: and falls back to event-driven execution at the first op that
+    #: could miss, observe, or transition state) — the knob exists for
+    #: the equivalence suite and A/B debugging, like
+    #: ``compile_programs``.  Requires ``compile_programs``; ignored
+    #: when tracing or monitoring hooks are attached (those force the
+    #: scalar path dynamically).
+    fast_lane: bool = True
 
     def __post_init__(self) -> None:
         if self.num_cores < 1:

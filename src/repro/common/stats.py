@@ -101,6 +101,19 @@ class StatGroup:
             values.setdefault(name, 0)
         return values
 
+    def bulk_add(self, name: str, n: int) -> None:
+        """Add ``n`` to counter ``name`` in one update.
+
+        The vectorized paths (the hit-run fast lane, GI flash sweeps,
+        approx flushes) account for a whole batch of events at once;
+        ``bulk_add`` is the single-dict-op equivalent of bumping the
+        counter ``n`` times in a loop.
+        """
+        if name.startswith("_"):
+            raise ValueError(f"invalid counter name {name!r}")
+        values = self._values
+        values[name] = values.get(name, 0) + n
+
     def histogram(self, key: str) -> HistogramStat:
         """Fetch-or-create a histogram counter."""
         h = self._values.get(key)

@@ -85,6 +85,7 @@ def experiment_config(*, enabled: bool, d_distance: int = 4,
         noc = noc_for_topology(topology, num_cores)
     return replace(
         cfg, num_cores=num_cores, noc=noc, protocol=protocol,
+        fast_lane=opts.fast_lane,
         verify=opts.verify_config(watchdog_interval=WATCHDOG_INTERVAL),
         faults=opts.fault_config(),
         obs=opts.obs_config(),

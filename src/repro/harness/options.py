@@ -93,6 +93,12 @@ class RunOptions:
     #: lockstep (:mod:`repro.sim.batch`), falling back per-point where
     #: sharing is unsound.  Results are bit-identical either way.
     backend: str = "serial"
+    #: Vectorized hit-run fast lane (:mod:`repro.core.hitrun`): execute
+    #: guaranteed-L1-hit op runs as numpy kernels.  Bit-identical to the
+    #: scalar event path — an execution-only knob (excluded from store
+    #: fingerprints, see :data:`repro.store.keys.EXECUTION_FIELDS`),
+    #: kept togglable for the equivalence suite and A/B debugging.
+    fast_lane: bool = True
 
     def __post_init__(self) -> None:
         if self.backend not in ("serial", "batch"):

@@ -78,6 +78,15 @@ def probe_hook(records: list):
     ``(write_word, block_word, programmed_d, line_state, ok, cycle)``
     (older 5-tuple producers without the cycle stamp remain accepted —
     their records simply carry no fork anchor).
+
+    Composition with the hit-run fast lane (:mod:`repro.core.hitrun`):
+    the lane stays enabled under the batch backend, but an attached
+    probe demotes every approximate-state scribble to a *dynamic run
+    break* — the lane refuses to merge comparator checks it cannot
+    replay record-for-record, so the breaking scribble executes on the
+    scalar path at its scalar dispatch cycle and the probe tuples
+    (values, states, ``cycle`` stamps) stay byte-identical to a
+    lane-off run.  Precise-state hits before the break still vectorize.
     """
     def attach(machine) -> None:
         for l1 in machine.l1s:
